@@ -1,0 +1,60 @@
+// interactive runs the Endo et al.-style interactive-event latency
+// methodology (§1.2) side by side with the paper's multimedia-deadline view
+// on the same machines: both operating systems look "adequately responsive"
+// (50–150 ms band) under load, while their ability to hold a 10 ms
+// multimedia tolerance differs drastically — the reason the paper needed a
+// different metric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wdmlat/internal/cli"
+	"wdmlat/internal/core"
+	"wdmlat/internal/interactive"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/report"
+)
+
+func main() {
+	wlFlag := flag.String("workload", "business", "concurrent stress class")
+	duration := flag.Duration("duration", 5*time.Minute, "virtual collection time")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	wl, err := cli.ParseWorkload(*wlFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "interactive:", err)
+		os.Exit(1)
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("Interactive response vs. multimedia deadlines under %v (§1.2)", wl),
+		Headers: []string{"System", "echo p50 (ms)", "echo p99 (ms)", "echo worst (ms)",
+			"within 150 ms", "P(thread lat >= 10 ms)"},
+	}
+	for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+		ir := interactive.Run(interactive.Config{
+			OS: osSel, Workload: wl, Duration: *duration, Seed: *seed,
+		})
+		lr := core.Run(core.RunConfig{OS: osSel, Workload: wl, Duration: *duration, Seed: *seed})
+		p10 := lr.Thread[lr.HighPriority()].CCDF(lr.Freq.FromMillis(10))
+		t.AddRow(
+			ir.OSName,
+			fmt.Sprintf("%.1f", ir.Freq.Millis(ir.Response.Quantile(0.5))),
+			fmt.Sprintf("%.1f", ir.Freq.Millis(ir.Response.Quantile(0.99))),
+			fmt.Sprintf("%.1f", ir.Freq.Millis(ir.Response.Max())),
+			fmt.Sprintf("%.2f%%", ir.WithinMS(150)*100),
+			fmt.Sprintf("%.2g", p10),
+		)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "interactive:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nBoth systems clear the 50-150 ms interactive adequacy band [20]; only the")
+	fmt.Println("latency-distribution methodology exposes the multimedia-deadline gap (§1.2).")
+}

@@ -1,0 +1,124 @@
+// latbench reproduces Figure 4 (and, with -scanner, Figure 5): it runs the
+// WDM latency measurement tools on a simulated Windows NT 4.0 and/or
+// Windows 98 machine under the selected application stress loads and prints
+// the measured latency distributions as log-log series, a summary table,
+// and optionally CSV for external plotting.
+//
+// Usage:
+//
+//	latbench [-os both|all] [-workload all] [-duration 10m] [-seed 1]
+//	         [-runs N] [-scanner] [-sound] [-csv] [-oracle] [-config]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wdmlat/internal/cli"
+	"wdmlat/internal/core"
+	"wdmlat/internal/figures"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/report"
+	"wdmlat/internal/workload"
+)
+
+func main() {
+	osFlag := flag.String("os", "both", "operating system: nt4, win98 or both")
+	wlFlag := flag.String("workload", "all", "stress class: business, workstation, games, web or all")
+	duration := flag.Duration("duration", 10*time.Minute, "virtual collection time per run")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	scanner := flag.Bool("scanner", false, "install the Plus! 98 virus scanner (Figure 5)")
+	sound := flag.Bool("sound", false, "enable the default Windows sound scheme")
+	csv := flag.Bool("csv", false, "emit CSV series instead of ASCII charts")
+	config := flag.Bool("config", false, "print the Table 2 system configurations and exit")
+	runs := flag.Int("runs", 1, "independent replicas to pool per cell (deepens tails)")
+	oracle := flag.Bool("oracle", false, "plot ground-truth DPC-interrupt latency instead of the tool's estimate")
+	flag.Parse()
+
+	if *config {
+		printConfigs()
+		return
+	}
+
+	oses, err := cli.ParseOSList(*osFlag)
+	fatal(err)
+	classes, err := cli.ParseWorkloadList(*wlFlag)
+	fatal(err)
+
+	for _, osSel := range oses {
+		// One Figure 4 panel set per OS: DPC-interrupt latency plus the
+		// two thread latencies, one series per workload.
+		results := make(map[workload.Class]*core.Result)
+		for _, wl := range classes {
+			r := core.RunMerged(core.RunConfig{
+				OS:           osSel,
+				Workload:     wl,
+				Duration:     *duration,
+				Seed:         *seed,
+				VirusScanner: *scanner,
+				SoundScheme:  *sound,
+			}, *runs)
+			results[wl] = r
+			label := wl.String()
+
+			fmt.Printf("# %s / %s: %d samples over %v virtual",
+				r.OSName, label, r.Samples, *duration)
+			if *scanner {
+				fmt.Printf(" (virus scanner ON)")
+			}
+			if *sound {
+				fmt.Printf(" (default sound scheme)")
+			}
+			fmt.Println()
+			fmt.Printf("#   DPC-interrupt latency: mean %.3f ms, max %.2f ms\n",
+				r.DpcInt.MeanMillis(), r.Freq.Millis(r.DpcInt.Max()))
+			for _, p := range []int{28, 24} {
+				fmt.Printf("#   RT %d thread latency:   mean %.3f ms, max %.2f ms\n",
+					p, r.Thread[p].MeanMillis(), r.Freq.Millis(r.Thread[p].Max()))
+			}
+		}
+
+		dpcSeries, t28Series, t24Series := figures.Figure4Panels(results)
+		if *oracle {
+			dpcSeries = dpcSeries[:0]
+			for _, wl := range classes {
+				dpcSeries = append(dpcSeries, report.NewSeries(wl.String(), results[wl].DpcIntOracle, 0.125, 128))
+			}
+		}
+		osName := ospersona.ProfileFor(osSel).Name
+		if *csv {
+			fmt.Printf("\n## %s DPC interrupt latency\n", osName)
+			fatal(report.WriteCSV(os.Stdout, dpcSeries))
+			fmt.Printf("\n## %s RT-28 thread latency\n", osName)
+			fatal(report.WriteCSV(os.Stdout, t28Series))
+			fmt.Printf("\n## %s RT-24 thread latency\n", osName)
+			fatal(report.WriteCSV(os.Stdout, t24Series))
+			continue
+		}
+		fmt.Println()
+		fatal(report.WriteLogLog(os.Stdout,
+			fmt.Sprintf("%s DPC Interrupt Latency in Milliseconds (Figure 4)", osName), dpcSeries))
+		fmt.Println()
+		fatal(report.WriteLogLog(os.Stdout,
+			fmt.Sprintf("%s Kernel Mode Thread (RT Priority 28) Latency in Millisecs (Figure 4)", osName), t28Series))
+		fmt.Println()
+		fatal(report.WriteLogLog(os.Stdout,
+			fmt.Sprintf("%s Kernel Mode Thread (RT Priority 24) Latency in Millisecs (Figure 4)", osName), t24Series))
+	}
+}
+
+func printConfigs() {
+	for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+		fatal(figures.Table2(osSel).Write(os.Stdout))
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latbench:", err)
+		os.Exit(1)
+	}
+}

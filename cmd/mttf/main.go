@@ -1,0 +1,113 @@
+// mttf reproduces Figures 6 and 7: the mean time to buffer underrun for a
+// soft-modem datapump on Windows 98 as a function of its total buffering,
+// for a DPC-based (-mode dpc) or thread-based (-mode thread) datapump, per
+// application stress class. The curves are derived from measured latency
+// tables exactly as in §5; -validate cross-checks a few points against a
+// direct datapump simulation running alongside the stress load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wdmlat/internal/cli"
+	"wdmlat/internal/core"
+	"wdmlat/internal/figures"
+	"wdmlat/internal/latdriver"
+	"wdmlat/internal/modem"
+	"wdmlat/internal/mttf"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
+	"wdmlat/internal/workload"
+)
+
+func main() {
+	osFlag := flag.String("os", "win98", "operating system (the paper forgoes NT: its worst cases sit below the modem slack)")
+	mode := flag.String("mode", "dpc", "datapump modality: dpc (Figure 6) or thread (Figure 7)")
+	cycle := flag.Float64("cycle", 4, "datapump cycle time t in ms (4-16)")
+	maxBuf := flag.Int("maxbuffers", 17, "largest buffer count to sweep")
+	duration := flag.Duration("duration", 15*time.Minute, "virtual collection time per workload")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	validate := flag.Bool("validate", false, "cross-check one point per class against direct datapump simulation")
+	flag.Parse()
+
+	osSel, err := cli.ParseOS(*osFlag)
+	fatal(err)
+	var modality modem.Modality
+	switch *mode {
+	case "dpc":
+		modality = modem.DPCBased
+	case "thread":
+		modality = modem.ThreadBased
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	fig := "Figure 6"
+	if modality == modem.ThreadBased {
+		fig = "Figure 7"
+	}
+	name := ospersona.ProfileFor(osSel).Name
+	fmt.Printf("%s: Mean Time to Buffer Underrun for a %v Datapump of a Softmodem on %s\n",
+		fig, modality, name)
+	fmt.Printf("(t = %.0f ms cycles, compute 25%% of cycle, collection %v per class)\n\n", *cycle, *duration)
+
+	curves := make(map[workload.Class][]mttf.Point)
+	for _, wl := range workload.Classes {
+		r := core.Run(core.RunConfig{OS: osSel, Workload: wl, Duration: *duration, Seed: *seed})
+		h := pickDistribution(r, modality)
+		pts := mttf.Sweep(h, r.UsageObserved(), *cycle, 0.25, *maxBuf)
+		curves[wl] = pts
+
+		if *validate {
+			validatePoint(osSel, wl, modality, *cycle, *seed, *duration, pts)
+		}
+	}
+	fatal(figures.MTTFTable(curves, "").Write(os.Stdout))
+	fmt.Println("\n('>' marks censored points: no event beyond that slack was observed;")
+	fmt.Println(" the value is the lower bound supported by the collection span.)")
+}
+
+// pickDistribution matches the datapump's modality to the latency it waits
+// through: DPC-interrupt latency for DPC pumps, hardware-interrupt-to-
+// high-priority-thread latency for thread pumps.
+func pickDistribution(r *core.Result, m modem.Modality) *stats.Histogram {
+	if m == modem.DPCBased {
+		return r.DpcInt
+	}
+	return r.HwToThread[r.HighPriority()]
+}
+
+// validatePoint runs a real datapump (triple buffered) inside the stress
+// load and compares its observed MTTF with the analytic curve.
+func validatePoint(osSel ospersona.OS, wl workload.Class, modality modem.Modality, cycle float64, seed uint64, duration time.Duration, pts []mttf.Point) {
+	m := ospersona.Build(osSel, ospersona.Options{Seed: seed + 99})
+	defer m.Shutdown()
+	// Tool threads must exist before the stress starts.
+	tool, err := latdriver.Install(m.Kernel, m.PIT, latdriver.Options{})
+	fatal(err)
+	fatal(tool.Start())
+	d := modem.Attach(m.Kernel, modem.Config{CycleMS: cycle, Buffers: 3, Modality: modality})
+	m.RunFor(m.Freq().Cycles(200 * time.Millisecond))
+	gen := workload.New(wl, m)
+	gen.Start()
+	m.Eng.After(m.MS(50), "pump", func(sim.Time) { d.Start() })
+	m.RunFor(m.Freq().Cycles(duration))
+	observed, ok := d.MTTFSeconds()
+	analytic := pts[1].MTTFSeconds // n=3 point
+	if !ok {
+		fmt.Printf("  [validate %s] no underrun in %v (analytic %.0f s)\n", wl, duration, analytic)
+		return
+	}
+	fmt.Printf("  [validate %s] direct sim MTTF %.0f s vs analytic %.0f s\n", wl, observed, analytic)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mttf:", err)
+		os.Exit(1)
+	}
+}

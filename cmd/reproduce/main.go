@@ -1,0 +1,272 @@
+// reproduce regenerates the full experimental record of EXPERIMENTS.md in
+// one invocation: every table and figure, the §4.2/§5.2/§1.2 analyses, and
+// the ablations, written as text artifacts under -outdir (default
+// ./results). Runs are deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wdmlat/internal/core"
+	"wdmlat/internal/figures"
+	"wdmlat/internal/interactive"
+	"wdmlat/internal/microbench"
+	"wdmlat/internal/mttf"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/report"
+	"wdmlat/internal/rma"
+	"wdmlat/internal/workload"
+)
+
+func main() {
+	duration := flag.Duration("duration", 15*time.Minute, "virtual collection per cell")
+	seed := flag.Uint64("seed", 3, "simulation seed")
+	outdir := flag.String("outdir", "results", "artifact directory")
+	runs := flag.Int("runs", 1, "replicas pooled per cell")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fail(err)
+	}
+	start := time.Now()
+
+	// --- Tables 1 and 2 (static) -------------------------------------------
+	emit(*outdir, "table1.txt", func(w io.Writer) error {
+		return figures.Table1().Write(w)
+	})
+	emit(*outdir, "table2.txt", func(w io.Writer) error {
+		for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+			if err := figures.Table2(osSel).Write(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+
+	// --- The measurement campaign: both OSes × all workloads ----------------
+	step("measurement campaign (%v x %d per cell, 8 cells)", *duration, *runs)
+	byOS := map[ospersona.OS]map[workload.Class]*core.Result{}
+	for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+		byOS[osSel] = map[workload.Class]*core.Result{}
+		for _, wl := range workload.Classes {
+			byOS[osSel][wl] = core.RunMerged(core.RunConfig{
+				OS: osSel, Workload: wl, Duration: *duration, Seed: *seed,
+			}, *runs)
+		}
+	}
+
+	// Figure 4 panels per OS.
+	for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+		osSel := osSel
+		name := ospersona.ProfileFor(osSel).Name
+		fname := "figure4_nt4.txt"
+		if osSel == ospersona.Win98 {
+			fname = "figure4_win98.txt"
+		}
+		emit(*outdir, fname, func(w io.Writer) error {
+			dpc, t28, t24 := figures.Figure4Panels(byOS[osSel])
+			if err := report.WriteLogLog(w, name+" DPC Interrupt Latency in Milliseconds (Figure 4)", dpc); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			if err := report.WriteLogLog(w, name+" Kernel Mode Thread (RT Priority 28) Latency (Figure 4)", t28); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return report.WriteLogLog(w, name+" Kernel Mode Thread (RT Priority 24) Latency (Figure 4)", t24)
+		})
+		emit(*outdir, fname[:len(fname)-4]+".csv", func(w io.Writer) error {
+			dpc, t28, t24 := figures.Figure4Panels(byOS[osSel])
+			for _, s := range [][]report.Series{dpc, t28, t24} {
+				if err := report.WriteCSV(w, s); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		})
+	}
+
+	// Table 3, both OSes.
+	emit(*outdir, "table3_win98.txt", func(w io.Writer) error {
+		return figures.Table3(byOS[ospersona.Win98],
+			fmt.Sprintf("Table 3: Observed Worst Case Windows 98 Latencies (ms), %v x %d per class", *duration, *runs)).Write(w)
+	})
+	emit(*outdir, "table3_nt4.txt", func(w io.Writer) error {
+		return figures.Table3(byOS[ospersona.NT4],
+			fmt.Sprintf("Table 3 (NT side): Observed Worst Case NT 4.0 Latencies (ms), %v x %d per class", *duration, *runs)).Write(w)
+	})
+
+	// Figures 6 and 7 from the Win98 distributions.
+	step("MTTF curves")
+	emit(*outdir, "figure6_dpc.txt", func(w io.Writer) error {
+		curves := map[workload.Class][]mttf.Point{}
+		for wl, r := range byOS[ospersona.Win98] {
+			curves[wl] = mttf.Sweep(r.DpcInt, r.UsageObserved(), 4, 0.25, 17)
+		}
+		return figures.MTTFTable(curves, "Figure 6: MTTF to underrun, DPC-based datapump, Windows 98 (t=4ms)").Write(w)
+	})
+	emit(*outdir, "figure7_thread.txt", func(w io.Writer) error {
+		curves := map[workload.Class][]mttf.Point{}
+		for wl, r := range byOS[ospersona.Win98] {
+			curves[wl] = mttf.Sweep(r.HwToThread[r.HighPriority()], r.UsageObserved(), 16, 0.25, 7)
+		}
+		return figures.MTTFTable(curves, "Figure 7: MTTF to underrun, thread-based datapump, Windows 98 (t=16ms)").Write(w)
+	})
+
+	// --- Figure 5: virus scanner --------------------------------------------
+	step("Figure 5 (virus scanner)")
+	emit(*outdir, "figure5_scanner.txt", func(w io.Writer) error {
+		dirty := core.RunMerged(core.RunConfig{
+			OS: ospersona.Win98, Workload: workload.Business,
+			Duration: *duration, Seed: *seed, VirusScanner: true,
+		}, *runs)
+		clean := byOS[ospersona.Win98][workload.Business]
+		at := dirty.Freq.FromMillis(15)
+		fmt.Fprintf(w, "Figure 5: Effect of the Virus Scanner on RT Thread Latency (Win98, Business)\n\n")
+		fmt.Fprintf(w, "P(thread latency >= 15 ms) per wait:\n")
+		fmt.Fprintf(w, "  virus scanner ON : %.3g\n", dirty.Thread[24].CCDF(at))
+		fmt.Fprintf(w, "  no virus scanner : %.3g\n", clean.Thread[24].CCDF(at))
+		fmt.Fprintf(w, "worst case: %.1f ms (scanner) vs %.1f ms (clean)\n",
+			dirty.Freq.Millis(dirty.Thread[24].Max()), clean.Freq.Millis(clean.Thread[24].Max()))
+		return report.WriteLogLog(w, "Win98 Kernel Mode Thread (RT 24) Latency, scanner ON",
+			[]report.Series{report.NewSeries("Business Apps w. Virus Scanner", dirty.Thread[24], 0.125, 128)})
+	})
+
+	// --- §4.2 throughput ------------------------------------------------------
+	step("throughput")
+	emit(*outdir, "sec42_throughput.txt", func(w io.Writer) error {
+		nt := core.RunThroughput(ospersona.NT4, 300, *seed)
+		w98 := core.RunThroughput(ospersona.Win98, 300, *seed)
+		t := &report.Table{
+			Title:   "Winstone-style throughput (§4.2)",
+			Headers: []string{"System", "Script time (s)", "Score"},
+		}
+		for _, r := range []core.ThroughputResult{nt, w98} {
+			t.AddRow(r.OSName, fmt.Sprintf("%.2f", r.Seconds()), fmt.Sprintf("%.2f", r.Score()))
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nScore delta: %.1f%% (paper: ~10%% avg, 20%% max)\n", core.ThroughputDelta(nt, w98)*100)
+		return nil
+	})
+
+	// --- Table 4: cause tool ---------------------------------------------------
+	step("Table 4 (cause tool)")
+	emit(*outdir, "table4_causetool.txt", func(w io.Writer) error {
+		r := core.Run(core.RunConfig{
+			OS: ospersona.Win98, Workload: workload.Business,
+			Duration: *duration, Seed: *seed,
+			SoundScheme: true, CauseAnalysis: true,
+			CauseThreshold: 6 * time.Millisecond,
+		})
+		fmt.Fprintf(w, "Table 4: Cause Tool Output, Win98 w. Biz Apps, Default Sound Scheme (%d episodes)\n\n", len(r.Episodes))
+		n := len(r.Episodes)
+		if n > 4 {
+			n = 4
+		}
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			if err := r.Episodes[i].Format(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	// --- §5.2 schedulability ----------------------------------------------------
+	step("§5.2 schedulability")
+	emit(*outdir, "sec52_rma.txt", func(w io.Writer) error {
+		for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+			r := byOS[osSel][workload.Games]
+			h := r.HwToThread[r.HighPriority()]
+			block := rma.PseudoWorstCase(h, r.UsageObserved(), r.Freq.Cycles(time.Hour))
+			fmt.Fprintf(w, "%s: pseudo worst case @ 1 drop/hour = %.2f ms\n", r.OSName, r.Freq.Millis(block))
+			task := rma.Task{Name: "softmodem", Period: r.Freq.FromMillis(8), Compute: r.Freq.FromMillis(2), Blocking: block}
+			if err := task.Validate(); err != nil {
+				fmt.Fprintf(w, "  -> infeasible: %v\n\n", err)
+				continue
+			}
+			res, ok, err := rma.Analyze([]rma.Task{task})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  -> response %.1f ms, schedulable=%v\n\n", r.Freq.Millis(res[0].Response), ok)
+		}
+		return nil
+	})
+
+	// --- §1.2: microbench + interactive ------------------------------------------
+	step("§1.2 baselines")
+	emit(*outdir, "sec12_microbench.txt", func(w io.Writer) error {
+		t := &report.Table{
+			Title:   "Traditional microbenchmarks: idle-system averages (µs)",
+			Headers: []string{"Primitive"},
+		}
+		var rs []microbench.Results
+		for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+			r := microbench.Run(osSel, *seed, 1000)
+			rs = append(rs, r)
+			t.Headers = append(t.Headers, r.OSName)
+		}
+		add := func(name string, pick func(microbench.Results) microbench.Stat) {
+			row := []string{name}
+			for _, r := range rs {
+				row = append(row, fmt.Sprintf("%.1f", pick(r).MeanUS))
+			}
+			t.AddRow(row...)
+		}
+		add("context switch", func(r microbench.Results) microbench.Stat { return r.ContextSwitch })
+		add("event signal", func(r microbench.Results) microbench.Stat { return r.EventSignal })
+		add("dpc dispatch", func(r microbench.Results) microbench.Stat { return r.DpcDispatch })
+		add("interrupt dispatch", func(r microbench.Results) microbench.Stat { return r.InterruptDispatch })
+		return t.Write(w)
+	})
+	emit(*outdir, "sec12_interactive.txt", func(w io.Writer) error {
+		t := &report.Table{
+			Title:   "Interactive response under Business stress (Endo-style, §1.2)",
+			Headers: []string{"System", "p50 (ms)", "p99 (ms)", "worst (ms)", "within 150 ms"},
+		}
+		for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+			ir := interactive.Run(interactive.Config{OS: osSel, Workload: workload.Business, Duration: *duration, Seed: *seed})
+			t.AddRow(ir.OSName,
+				fmt.Sprintf("%.1f", ir.Freq.Millis(ir.Response.Quantile(0.5))),
+				fmt.Sprintf("%.1f", ir.Freq.Millis(ir.Response.Quantile(0.99))),
+				fmt.Sprintf("%.1f", ir.Freq.Millis(ir.Response.Max())),
+				fmt.Sprintf("%.2f%%", ir.WithinMS(150)*100))
+		}
+		return t.Write(w)
+	})
+
+	fmt.Printf("done in %v; artifacts in %s/\n", time.Since(start).Round(time.Second), *outdir)
+}
+
+func step(format string, args ...any) {
+	fmt.Printf("== "+format+"\n", args...)
+}
+
+func emit(dir, name string, fn func(io.Writer) error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("   wrote %s\n", filepath.Join(dir, name))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// tolerances reproduces Table 1: the latency tolerances of several
+// multimedia and signal processing applications, (n−1)·t for n buffers of
+// t milliseconds.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wdmlat/internal/figures"
+)
+
+func main() {
+	if err := figures.Table1().Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tolerances:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nNote: the two most processor-intensive applications, ADSL and video at")
+	fmt.Println("20 to 30 fps, sit at opposite ends of the latency tolerance spectrum (§1).")
+}

@@ -1,0 +1,3 @@
+module wdmlat
+
+go 1.22

@@ -1,0 +1,69 @@
+// Package cli holds small helpers shared by the cmd/ tools: flag parsing
+// for OS and workload names, and duration conveniences.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/workload"
+)
+
+// ParseOS resolves an --os flag value.
+func ParseOS(s string) (ospersona.OS, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "nt", "nt4", "winnt", "nt4.0":
+		return ospersona.NT4, nil
+	case "98", "win98", "windows98", "w98":
+		return ospersona.Win98, nil
+	case "2000", "win2000", "win2k", "nt5":
+		return ospersona.Win2000Beta, nil
+	default:
+		return 0, fmt.Errorf("unknown OS %q (want nt4, win98 or win2000)", s)
+	}
+}
+
+// ParseOSList resolves an --os flag that may be "both" (the paper's two
+// systems) or "all" (including the Windows 2000 Beta).
+func ParseOSList(s string) ([]ospersona.OS, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "both") {
+		return []ospersona.OS{ospersona.NT4, ospersona.Win98}, nil
+	}
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return []ospersona.OS{ospersona.NT4, ospersona.Win98, ospersona.Win2000Beta}, nil
+	}
+	os, err := ParseOS(s)
+	if err != nil {
+		return nil, err
+	}
+	return []ospersona.OS{os}, nil
+}
+
+// ParseWorkload resolves a --workload flag value.
+func ParseWorkload(s string) (workload.Class, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "business", "biz", "office":
+		return workload.Business, nil
+	case "workstation", "wks", "highend":
+		return workload.Workstation, nil
+	case "games", "game", "3d":
+		return workload.Games, nil
+	case "web", "browsing":
+		return workload.Web, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q (want business|workstation|games|web)", s)
+	}
+}
+
+// ParseWorkloadList resolves a --workload flag that may be "all".
+func ParseWorkloadList(s string) ([]workload.Class, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return workload.Classes, nil
+	}
+	c, err := ParseWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	return []workload.Class{c}, nil
+}

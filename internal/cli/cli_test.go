@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"testing"
+
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/workload"
+)
+
+func TestParseOS(t *testing.T) {
+	good := map[string]ospersona.OS{
+		"nt4": ospersona.NT4, "NT": ospersona.NT4, "winnt": ospersona.NT4,
+		"win98": ospersona.Win98, "98": ospersona.Win98, " W98 ": ospersona.Win98,
+	}
+	for in, want := range good {
+		got, err := ParseOS(in)
+		if err != nil || got != want {
+			t.Errorf("ParseOS(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseOS("os2warp"); err == nil {
+		t.Error("unknown OS should fail")
+	}
+}
+
+func TestParseOSList(t *testing.T) {
+	both, err := ParseOSList("both")
+	if err != nil || len(both) != 2 {
+		t.Fatalf("both: %v %v", both, err)
+	}
+	one, err := ParseOSList("nt4")
+	if err != nil || len(one) != 1 || one[0] != ospersona.NT4 {
+		t.Fatalf("nt4: %v %v", one, err)
+	}
+	if _, err := ParseOSList("neither"); err == nil {
+		t.Error("bad list should fail")
+	}
+}
+
+func TestParseWorkload(t *testing.T) {
+	good := map[string]workload.Class{
+		"business": workload.Business, "biz": workload.Business,
+		"workstation": workload.Workstation, "wks": workload.Workstation,
+		"games": workload.Games, "3d": workload.Games,
+		"web": workload.Web,
+	}
+	for in, want := range good {
+		got, err := ParseWorkload(in)
+		if err != nil || got != want {
+			t.Errorf("ParseWorkload(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseWorkload("spreadsheets"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestParseWorkloadList(t *testing.T) {
+	all, err := ParseWorkloadList("all")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	one, err := ParseWorkloadList("web")
+	if err != nil || len(one) != 1 || one[0] != workload.Web {
+		t.Fatalf("web: %v %v", one, err)
+	}
+	if _, err := ParseWorkloadList("none"); err == nil {
+		t.Error("bad list should fail")
+	}
+}

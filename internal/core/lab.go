@@ -1,0 +1,240 @@
+// Package core is the public façade of the latency laboratory: it wires a
+// simulated machine (ospersona), a stress workload (workload) and the
+// measurement drivers (latdriver) into one experiment run, following the
+// paper's procedure — assemble the system, start the measurement tools,
+// then launch the stress benchmark (§3.1.1) — and returns the measured
+// distributions ready for the reporting and analysis layers.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wdmlat/internal/causetool"
+	"wdmlat/internal/kernel"
+	"wdmlat/internal/latdriver"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
+	"wdmlat/internal/workload"
+)
+
+// RunConfig describes one measurement run: an OS, a stress class, and a
+// virtual collection duration.
+type RunConfig struct {
+	OS ospersona.OS
+	// Workload is the stress class; set Idle true to measure an unloaded
+	// system instead (the baseline traditional microbenchmarks use, which
+	// the paper argues is uninformative — §1.2).
+	Workload workload.Class
+	Idle     bool
+	// Duration is the virtual collection time (default 1 minute). The
+	// paper collects hours; longer runs resolve deeper tails.
+	Duration time.Duration
+	// Warmup precedes the workload launch (tool threads raise priority,
+	// caches settle); samples from it are included, as in the paper where
+	// the tools start before the benchmark. Default 200 ms.
+	Warmup time.Duration
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// VirusScanner and SoundScheme toggle the Figure 5 / Table 4 factors.
+	// The paper's headline data (Figure 4) has both off.
+	VirusScanner bool
+	SoundScheme  bool
+	// DelayTicks overrides the tool's timer delay (default 3).
+	DelayTicks int
+	// CauseAnalysis attaches the §2.3 latency cause tool (IDT hook) with
+	// the given threshold; zero threshold means 5 ms. It requires a
+	// personality that allows legacy vector patching (Windows 98) — on NT
+	// the request is ignored, matching the paper ("on Windows NT this
+	// would require source code access").
+	CauseAnalysis  bool
+	CauseThreshold time.Duration
+	CauseRingSize  int
+	// CauseNMI samples via performance-counter NMIs instead of the PIT
+	// hook (§6.1 future work): sub-millisecond resolution, visibility
+	// inside masked windows — and no legacy interface needed, so it works
+	// on the NT personality too.
+	CauseNMI bool
+	// CauseWalkStack records call trees instead of single frames (§6.1).
+	CauseWalkStack bool
+	// HighPriority/MediumPriority override the measurement thread
+	// priorities (defaults 28 and 24, as in §4.1).
+	HighPriority, MediumPriority int
+	// WorkerPriority overrides the kernel work-item worker priority
+	// (ablation: set it below the real-time band and the NT RT-24 vs
+	// RT-28 gap disappears). Zero keeps the default 24.
+	WorkerPriority int
+	// PITPeriod overrides the 1 kHz PIT programming (ablation: the 67-100
+	// Hz machine default trades sampling resolution for intrusiveness).
+	PITPeriod time.Duration
+	// PIODisk disables the Table 2 DMA configuration (ablation): disk
+	// transfers then execute at DISPATCH_LEVEL in the driver.
+	PIODisk bool
+}
+
+func (c *RunConfig) fillDefaults() {
+	if c.Duration == 0 {
+		c.Duration = time.Minute
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 200 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result is the outcome of one measurement run.
+type Result struct {
+	Config   RunConfig
+	OSName   string
+	Class    workload.Class
+	Observed sim.Cycles // virtual collection span (for rate math)
+	Freq     sim.Freq
+
+	Samples uint64
+
+	// DpcInt is the estimated DPC-interrupt latency (Figure 4, top row);
+	// DpcIntOracle is the same latency against exact tick times.
+	DpcInt, DpcIntOracle *stats.Histogram
+	// IntLat/DpcLat are the Win98 legacy-hook split (nil on NT).
+	IntLat, DpcLat *stats.Histogram
+	// Thread maps measurement priority to its thread-latency distribution
+	// (Figure 4, middle and bottom rows).
+	Thread map[int]*stats.Histogram
+	// HwToThread maps measurement priority to the measured end-to-end
+	// latency from the (estimated) hardware interrupt to the thread — the
+	// "H/W Int. to kernel RT thread" rows of Table 3.
+	HwToThread map[int]*stats.Histogram
+
+	Counters       kernel.Counters
+	AudioUnderruns uint64
+	AudioPeriods   uint64
+
+	// Episodes holds the cause-tool captures when CauseAnalysis was on.
+	Episodes []causetool.Episode
+}
+
+// Run executes one measurement run and returns its result.
+func Run(cfg RunConfig) *Result {
+	cfg.fillDefaults()
+
+	opts := ospersona.Options{
+		Seed:           cfg.Seed,
+		VirusScanner:   cfg.VirusScanner,
+		SoundScheme:    cfg.SoundScheme,
+		WorkerPriority: cfg.WorkerPriority,
+		PIODisk:        cfg.PIODisk,
+	}
+	if cfg.PITPeriod > 0 {
+		opts.PITPeriod = sim.DefaultFreq.Cycles(cfg.PITPeriod)
+	}
+	m := ospersona.Build(cfg.OS, opts)
+	defer m.Shutdown()
+
+	var cause *causetool.Tool
+	toolOpts := latdriver.Options{
+		DelayTicks:     cfg.DelayTicks,
+		HookTimerISR:   m.Profile.SupportsLegacyTimerHook,
+		HighPriority:   cfg.HighPriority,
+		MediumPriority: cfg.MediumPriority,
+	}
+	if cfg.CauseAnalysis && (m.Profile.SupportsLegacyTimerHook || cfg.CauseNMI) {
+		src := causetool.PITHook
+		if cfg.CauseNMI {
+			src = causetool.PerfCounterNMI
+		}
+		cause = causetool.Attach(m.Kernel, causetool.Options{
+			RingSize:  cfg.CauseRingSize,
+			Threshold: m.Freq().Cycles(cfg.CauseThreshold),
+			Source:    src,
+			WalkStack: cfg.CauseWalkStack,
+		})
+		toolOpts.OnThreadLatency = func(_ int, lat sim.Cycles) { cause.OnLatency(lat) }
+	}
+	tool, err := latdriver.Install(m.Kernel, m.PIT, toolOpts)
+	if err != nil {
+		panic(fmt.Sprintf("core: tool install failed: %v", err))
+	}
+	if err := tool.Start(); err != nil {
+		panic(fmt.Sprintf("core: tool start failed: %v", err))
+	}
+
+	start := m.Now()
+	m.RunFor(m.Freq().Cycles(cfg.Warmup))
+
+	var gen *workload.Generator
+	if !cfg.Idle {
+		gen = workload.New(cfg.Workload, m)
+		gen.Start()
+	}
+	m.RunFor(m.Freq().Cycles(cfg.Duration))
+	if gen != nil {
+		gen.Stop()
+	}
+	tool.Stop()
+
+	res := &Result{
+		Config:       cfg,
+		OSName:       m.Profile.Name,
+		Class:        cfg.Workload,
+		Observed:     m.Now().Sub(start),
+		Freq:         m.Freq(),
+		Samples:      tool.Samples(),
+		DpcInt:       tool.DpcInterruptLatency(),
+		DpcIntOracle: tool.DpcInterruptLatencyOracle(),
+		IntLat:       tool.InterruptLatency(),
+		DpcLat:       tool.DpcLatency(),
+		Thread: map[int]*stats.Histogram{
+			tool.HighPriority():   tool.ThreadLatency(tool.HighPriority()),
+			tool.MediumPriority(): tool.ThreadLatency(tool.MediumPriority()),
+		},
+		HwToThread: map[int]*stats.Histogram{
+			tool.HighPriority():   tool.HwToThreadLatency(tool.HighPriority()),
+			tool.MediumPriority(): tool.HwToThreadLatency(tool.MediumPriority()),
+		},
+		Counters:       m.Kernel.Counters(),
+		AudioUnderruns: m.Sound.Underruns(),
+		AudioPeriods:   m.Sound.Periods(),
+	}
+	if cause != nil {
+		cause.Detach()
+		res.Episodes = cause.Episodes()
+	}
+	return res
+}
+
+// HighPriority returns the high measurement-thread priority used.
+func (r *Result) HighPriority() int {
+	if r.Config.HighPriority != 0 {
+		return r.Config.HighPriority
+	}
+	return kernel.RealtimeHigh
+}
+
+// MediumPriority returns the medium measurement-thread priority used.
+func (r *Result) MediumPriority() int {
+	if r.Config.MediumPriority != 0 {
+		return r.Config.MediumPriority
+	}
+	return kernel.RealtimeDefault
+}
+
+// UsageObserved converts the collection span into heavy-use time via the
+// workload's MS-Test time-compression factor (§3.1): one collection hour
+// equals TimeCompression() hours of real use. Table 3's horizons are
+// evaluated against this usage-equivalent span.
+func (r *Result) UsageObserved() sim.Cycles {
+	comp := r.Class.TimeCompression()
+	if r.Config.Idle {
+		comp = 1
+	}
+	return sim.Cycles(float64(r.Observed) * comp)
+}
+
+// WorstCaseRow computes the Table 3 hourly/daily/weekly expected worst
+// cases (in milliseconds) for one measured distribution.
+func (r *Result) WorstCaseRow(h *stats.Histogram) [3]float64 {
+	return h.WorstCases(r.UsageObserved(), r.Class.Usage())
+}

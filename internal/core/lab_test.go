@@ -1,0 +1,259 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"wdmlat/internal/core"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/stats"
+	"wdmlat/internal/workload"
+)
+
+// run is a short-duration helper for assertions on distribution shape.
+func run(t *testing.T, cfg core.RunConfig) *core.Result {
+	t.Helper()
+	if cfg.Duration == 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return core.Run(cfg)
+}
+
+func ms(r *core.Result, h *stats.Histogram, q float64) float64 {
+	return r.Freq.Millis(h.Quantile(q))
+}
+
+// TestPaperHeadlineOrdering asserts the paper's central conclusions (§4.2,
+// §6) on every workload class:
+//
+//  1. On NT, high real-time priority threads receive service nearly
+//     indistinguishable from DPCs.
+//  2. A driver on NT — DPC or RT-28 thread — is at least an order of
+//     magnitude better served than the same WDM driver's *threads* on 98.
+//  3. On Win98, DPC service is an order of magnitude better than RT thread
+//     service.
+//  4. On NT, the default RT priority (24) is an order of magnitude worse
+//     than 28 (the work-item worker shares priority 24).
+func TestPaperHeadlineOrdering(t *testing.T) {
+	for _, wl := range workload.Classes {
+		wl := wl
+		t.Run(wl.String(), func(t *testing.T) {
+			t.Parallel()
+			// Web tails are driven by download bursts that are sparser
+			// than the other classes' events; give them a longer window.
+			dur := 30 * time.Second
+			if wl == workload.Web {
+				dur = 2 * time.Minute
+			}
+			nt := run(t, core.RunConfig{OS: ospersona.NT4, Workload: wl, Seed: 2, Duration: dur})
+			w98 := run(t, core.RunConfig{OS: ospersona.Win98, Workload: wl, Seed: 2, Duration: dur})
+
+			ntDpc999 := ms(nt, nt.DpcIntOracle, 0.999)
+			nt28t999 := ms(nt, nt.Thread[28], 0.999)
+			nt24max := nt.Freq.Millis(nt.Thread[24].Max())
+			nt28max := nt.Freq.Millis(nt.Thread[28].Max())
+			w98t28max := w98.Freq.Millis(w98.Thread[28].Max())
+			w98dpc999 := ms(w98, w98.DpcIntOracle, 0.999)
+			w98t28p999 := ms(w98, w98.Thread[28], 0.999)
+
+			// Short windows under-sample the rarest events (the paper
+			// collects hours; Table 3's web 14 ms events occur a few times
+			// per collection-hour), so the web class is held to a looser
+			// multiplier here; the bench harness demonstrates the full
+			// order-of-magnitude gaps on long runs.
+			maxGap := 4.0
+			if wl == workload.Web {
+				maxGap = 2.0
+			}
+
+			// (1) NT: RT-28 thread ≈ DPC (within a few context switches).
+			if nt28t999 > ntDpc999+0.3 {
+				t.Errorf("NT RT-28 p99.9 %.3f ms far above DPC p99.9 %.3f ms", nt28t999, ntDpc999)
+			}
+			// (2) Win98 thread service clearly worse than NT's in the
+			// worst case (the quantity a real-time driver designs for).
+			if w98t28max < maxGap*nt28max {
+				t.Errorf("Win98 RT-28 worst %.2f ms vs NT %.2f ms: gap collapsed", w98t28max, nt28max)
+			}
+			// (3) Win98: DPC p99.9 far below thread p99.9.
+			if w98t28p999 < 2*w98dpc999 && w98t28max < 5*w98dpc999 {
+				t.Errorf("Win98 thread tail (p99.9 %.3f, max %.3f) not clearly above DPC tail %.3f",
+					w98t28p999, w98t28max, w98dpc999)
+			}
+			// (4) NT: RT-24 worst an order of magnitude above RT-28 worst.
+			if nt24max < 5*nt28max {
+				t.Errorf("NT RT-24 worst %.2f ms vs RT-28 worst %.2f ms: work-item effect missing", nt24max, nt28max)
+			}
+		})
+	}
+}
+
+// TestNTWorstCaseBelowModemSlack is the §5.1 claim: "the worst case
+// latencies for Windows NT are uniformly below the minimum modem slack time
+// of 3 milliseconds (= cycle time of 4 ms - 1 ms of computation), we forgo
+// the analysis". True latencies (oracle) must stay under 3 ms for DPCs and
+// RT-28 threads on every workload.
+func TestNTWorstCaseBelowModemSlack(t *testing.T) {
+	for _, wl := range workload.Classes {
+		wl := wl
+		t.Run(wl.String(), func(t *testing.T) {
+			t.Parallel()
+			r := run(t, core.RunConfig{OS: ospersona.NT4, Workload: wl, Seed: 3, Duration: time.Minute})
+			if got := r.Freq.Millis(r.DpcIntOracle.Max()); got >= 3 {
+				t.Errorf("NT DPC-interrupt worst %.2f ms >= 3 ms modem slack", got)
+			}
+			if got := r.Freq.Millis(r.Thread[28].Max()); got >= 3 {
+				t.Errorf("NT RT-28 thread worst %.2f ms >= 3 ms modem slack", got)
+			}
+		})
+	}
+}
+
+// TestVirusScannerFigure5: with the Plus! 98 virus scanner on, 16 ms thread
+// latencies occur about two orders of magnitude more often (§4.3,
+// Figure 5): "about every 1000 times that our thread does a wait" versus
+// "once in 165,000 waits" without.
+func TestVirusScannerFigure5(t *testing.T) {
+	clean := run(t, core.RunConfig{OS: ospersona.Win98, Workload: workload.Business, Seed: 4, Duration: time.Minute})
+	dirty := run(t, core.RunConfig{OS: ospersona.Win98, Workload: workload.Business, Seed: 4, Duration: time.Minute, VirusScanner: true})
+
+	at16 := dirty.Freq.FromMillis(15)
+	pClean := clean.Thread[24].CCDF(at16)
+	pDirty := dirty.Thread[24].CCDF(at16)
+	if pDirty < 3e-4 {
+		t.Fatalf("scanner 15+ms rate %.2g too low (paper: ~1e-3)", pDirty)
+	}
+	if pClean > pDirty/10 {
+		t.Fatalf("scanner effect too weak: clean %.2g vs dirty %.2g", pClean, pDirty)
+	}
+}
+
+// TestCauseToolTable4: with the default sound scheme on Windows 98, long
+// thread-latency episodes trace into SYSAUDIO / KMIXER / VMM / NTKERN
+// frames, as in Table 4.
+func TestCauseToolTable4(t *testing.T) {
+	r := run(t, core.RunConfig{
+		OS:             ospersona.Win98,
+		Workload:       workload.Business,
+		Seed:           5,
+		Duration:       2 * time.Minute,
+		SoundScheme:    true,
+		CauseAnalysis:  true,
+		CauseThreshold: 6 * time.Millisecond,
+	})
+	if len(r.Episodes) == 0 {
+		t.Fatal("no latency episodes captured")
+	}
+	audioModules := map[string]bool{"SYSAUDIO": true, "KMIXER": true, "VMM": true, "NTKERN": true}
+	found := false
+	for _, ep := range r.Episodes {
+		for _, fc := range ep.Analysis() {
+			if audioModules[fc.Frame.Module] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no sound-scheme module in %d episodes", len(r.Episodes))
+	}
+}
+
+// TestCauseAnalysisIgnoredOnNT: the IDT hook needs the Win9x legacy
+// interface; on NT the request must be ignored, not honored.
+func TestCauseAnalysisIgnoredOnNT(t *testing.T) {
+	r := run(t, core.RunConfig{
+		OS:            ospersona.NT4,
+		Workload:      workload.Business,
+		Seed:          6,
+		Duration:      10 * time.Second,
+		CauseAnalysis: true,
+	})
+	if r.Episodes != nil {
+		t.Fatal("NT run should not carry cause-tool episodes")
+	}
+	if r.IntLat != nil {
+		t.Fatal("NT run should not have the legacy interrupt-latency split")
+	}
+}
+
+// TestThroughputSection42: the Winstone-style macrobenchmark cannot tell
+// the systems apart (§4.2: ~10% average delta, 20% max) even though the
+// latency distributions differ by orders of magnitude.
+func TestThroughputSection42(t *testing.T) {
+	nt := core.RunThroughput(ospersona.NT4, 60, 7)
+	w98 := core.RunThroughput(ospersona.Win98, 60, 7)
+	if d := core.ThroughputDelta(nt, w98); d > 0.25 {
+		t.Fatalf("throughput delta %.0f%% exceeds the paper's ~10-20%% band", d*100)
+	}
+	if nt.Score() <= 0 || w98.Score() <= 0 {
+		t.Fatal("scores must be positive")
+	}
+}
+
+func TestResultMetadata(t *testing.T) {
+	r := run(t, core.RunConfig{OS: ospersona.Win98, Workload: workload.Business, Seed: 8, Duration: 10 * time.Second})
+	if r.OSName == "" || r.Samples == 0 {
+		t.Fatalf("result incomplete: %+v", r)
+	}
+	if r.HighPriority() != 28 || r.MediumPriority() != 24 {
+		t.Fatalf("priorities: %d/%d", r.HighPriority(), r.MediumPriority())
+	}
+	// Collection span ~ warmup + duration.
+	sec := r.Freq.Duration(r.Observed).Seconds()
+	if sec < 10 || sec > 11 {
+		t.Fatalf("observed %.2f s", sec)
+	}
+	// Business compression is 10x: usage-equivalent span ~102 s.
+	usage := r.Freq.Duration(r.UsageObserved()).Seconds()
+	if usage < 100 || usage > 105 {
+		t.Fatalf("usage observed %.2f s", usage)
+	}
+	// Worst-case rows are ordered hourly <= daily <= weekly.
+	wc := r.WorstCaseRow(r.Thread[28])
+	if !(wc[0] <= wc[1] && wc[1] <= wc[2]) {
+		t.Fatalf("worst-case row out of order: %v", wc)
+	}
+}
+
+func TestIdleRun(t *testing.T) {
+	r := run(t, core.RunConfig{OS: ospersona.NT4, Idle: true, Seed: 9, Duration: 10 * time.Second})
+	// An idle system is what traditional microbenchmarks measure; its
+	// latencies are tiny and miss everything interesting (§1.2).
+	if got := r.Freq.Millis(r.Thread[28].Max()); got > 0.1 {
+		t.Fatalf("idle NT RT-28 worst %.3f ms", got)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := core.RunConfig{OS: ospersona.Win98, Workload: workload.Web, Seed: 10, Duration: 10 * time.Second}
+	a, b := core.Run(cfg), core.Run(cfg)
+	if a.Samples != b.Samples {
+		t.Fatalf("samples differ: %d vs %d", a.Samples, b.Samples)
+	}
+	if a.Thread[28].Max() != b.Thread[28].Max() || a.DpcInt.Mean() != b.DpcInt.Mean() {
+		t.Fatal("distributions differ between identical runs")
+	}
+	if a.Counters != b.Counters {
+		t.Fatalf("counters differ:\n%+v\n%+v", a.Counters, b.Counters)
+	}
+}
+
+func TestSystemConfigTable2(t *testing.T) {
+	nt := core.SystemConfigFor(ospersona.NT4)
+	w98 := core.SystemConfigFor(ospersona.Win98)
+	if nt.Filesystem != "NTFS" || w98.Filesystem != "FAT32" {
+		t.Fatalf("filesystems: %q / %q", nt.Filesystem, w98.Filesystem)
+	}
+	if nt.Processor != w98.Processor || nt.Memory != w98.Memory {
+		t.Fatal("shared hardware rows must match")
+	}
+	if nt.Audio == w98.Audio {
+		t.Fatal("audio solutions differ in Table 2")
+	}
+	if w98.OptionalPack == "" || nt.OptionalPack != "" {
+		t.Fatal("Plus! 98 pack is a Win98 row")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+// Multi-run merging: the paper collects hours of data per class; a single
+// virtual run resolves tails down to its own span. RunMerged pools several
+// independently-seeded runs into one result, which deepens the resolvable
+// tail in proportion to the pooled span (longer collections and more seeds
+// are statistically equivalent here because the generators are stationary).
+
+// RunMerged executes runs independent replicas of cfg (seeds cfg.Seed,
+// cfg.Seed+1, ...) and pools their distributions.
+func RunMerged(cfg RunConfig, runs int) *Result {
+	if runs <= 1 {
+		return Run(cfg)
+	}
+	base := Run(cfg)
+	for i := 1; i < runs; i++ {
+		next := cfg
+		next.Seed = cfg.Seed + uint64(i)*7919 // decorrelate streams
+		r := Run(next)
+		base.merge(r)
+	}
+	return base
+}
+
+// merge pools other into r.
+func (r *Result) merge(other *Result) {
+	r.Observed += other.Observed
+	r.Samples += other.Samples
+	r.DpcInt.Merge(other.DpcInt)
+	r.DpcIntOracle.Merge(other.DpcIntOracle)
+	if r.IntLat != nil && other.IntLat != nil {
+		r.IntLat.Merge(other.IntLat)
+	}
+	if r.DpcLat != nil && other.DpcLat != nil {
+		r.DpcLat.Merge(other.DpcLat)
+	}
+	for p, h := range r.Thread {
+		if oh, ok := other.Thread[p]; ok {
+			h.Merge(oh)
+		}
+	}
+	for p, h := range r.HwToThread {
+		if oh, ok := other.HwToThread[p]; ok {
+			h.Merge(oh)
+		}
+	}
+	r.Counters.ISRCycles += other.Counters.ISRCycles
+	r.Counters.DPCCycles += other.Counters.DPCCycles
+	r.Counters.EpisodeCycles += other.Counters.EpisodeCycles
+	r.Counters.SwitchCycles += other.Counters.SwitchCycles
+	r.Counters.ThreadCycles += other.Counters.ThreadCycles
+	r.Counters.Interrupts += other.Counters.Interrupts
+	r.Counters.DPCs += other.Counters.DPCs
+	r.Counters.Switches += other.Counters.Switches
+	r.Counters.Episodes += other.Counters.Episodes
+	r.AudioUnderruns += other.AudioUnderruns
+	r.AudioPeriods += other.AudioPeriods
+	r.Episodes = append(r.Episodes, other.Episodes...)
+}

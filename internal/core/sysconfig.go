@@ -1,0 +1,55 @@
+package core
+
+import "wdmlat/internal/ospersona"
+
+// SystemConfig reproduces Table 2 of the paper: the test system
+// configuration, with the rows that differ between the two installations.
+type SystemConfig struct {
+	OSVersion        string
+	OptionalPack     string
+	Filesystem       string
+	IDEDriver        string
+	Processor        string
+	Motherboard      string
+	BIOS             string
+	Memory           string
+	HardDrive        string
+	CDROM            string
+	Graphics         string
+	Resolution       string
+	Audio            string
+	Network          string
+	PITFrequency     string
+	LegacyISADevices string
+}
+
+// SystemConfigFor returns the Table 2 row set for one OS.
+func SystemConfigFor(os ospersona.OS) SystemConfig {
+	common := SystemConfig{
+		Processor:        "Pentium II 300 MHz",
+		Motherboard:      "Atlanta (Intel 440 LX)",
+		BIOS:             "4A4LL0X0.86A.0012.P02",
+		Memory:           "32 MB SDRAM",
+		HardDrive:        "Maxtor DiamondMax 6.4 GB UDMA",
+		CDROM:            "Sony CDU 711E 32x",
+		Graphics:         "ATI Xpert@Work (AGP)",
+		Resolution:       "1024 x 768 x 32 bit (games 800 x 600)",
+		Network:          "Intel EtherExpress Pro 100 PCI NIC",
+		PITFrequency:     "reprogrammed to 1 kHz by the measurement tools",
+		LegacyISADevices: "disabled (PCI/USB only)",
+	}
+	switch os {
+	case ospersona.NT4:
+		common.OSVersion = "Windows NT 4.0, Service Pack 3 w. 11/97 rollup hotfix"
+		common.Filesystem = "NTFS"
+		common.IDEDriver = "Intel PIIX Bus Master IDE Driver ver. 2.01.3 (DMA)"
+		common.Audio = "Ensoniq PCI sound card, Prosonic speakers"
+	case ospersona.Win98:
+		common.OSVersion = "Windows 98 (4.10.1998)"
+		common.OptionalPack = "Plus! 98 Pack w/o optional Virus Scanner"
+		common.Filesystem = "FAT32"
+		common.IDEDriver = "Default with DMA set ON"
+		common.Audio = "Philips DSS 350 USB speakers"
+	}
+	return common
+}

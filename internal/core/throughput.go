@@ -1,0 +1,63 @@
+package core
+
+import (
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/sim"
+	"wdmlat/internal/workload"
+)
+
+// ThroughputResult is one macrobenchmark run (§4.2): the virtual time a
+// fixed Winstone-style script takes on one OS.
+type ThroughputResult struct {
+	OSName   string
+	Units    int
+	Duration sim.Cycles
+	Freq     sim.Freq
+}
+
+// Seconds returns the script duration in virtual seconds.
+func (t ThroughputResult) Seconds() float64 {
+	return t.Freq.Duration(t.Duration).Seconds()
+}
+
+// Score returns a Winstone-style throughput score: units of work per
+// virtual second (higher is better).
+func (t ThroughputResult) Score() float64 {
+	s := t.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(t.Units) / s
+}
+
+// RunThroughput executes the deterministic benchmark script on one OS.
+func RunThroughput(os ospersona.OS, units int, seed uint64) ThroughputResult {
+	m := ospersona.Build(os, ospersona.Options{Seed: seed})
+	defer m.Shutdown()
+	d := workload.RunThroughput(m, units)
+	return ThroughputResult{
+		OSName:   m.Profile.Name,
+		Units:    units,
+		Duration: d,
+		Freq:     m.Freq(),
+	}
+}
+
+// ThroughputDelta returns the relative score difference |a-b| / max(a,b),
+// the quantity the paper bounds at ~10% average / 20% max while latency
+// differs by orders of magnitude.
+func ThroughputDelta(a, b ThroughputResult) float64 {
+	sa, sb := a.Score(), b.Score()
+	hi := sa
+	if sb > hi {
+		hi = sb
+	}
+	if hi == 0 {
+		return 0
+	}
+	d := sa - sb
+	if d < 0 {
+		d = -d
+	}
+	return d / hi
+}

@@ -1,0 +1,137 @@
+package figures
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"wdmlat/internal/core"
+	"wdmlat/internal/mttf"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/workload"
+)
+
+func render(t *testing.T, write func(w io.Writer) error) string {
+	t.Helper()
+	var b strings.Builder
+	if err := write(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestTable1(t *testing.T) {
+	out := render(t, Table1().Write)
+	for _, want := range []string{"ADSL", "Modem", "RT audio", "RT video", "12 to 20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2BothSystems(t *testing.T) {
+	nt := render(t, Table2(ospersona.NT4).Write)
+	w98 := render(t, Table2(ospersona.Win98).Write)
+	if !strings.Contains(nt, "NTFS") || !strings.Contains(w98, "FAT32") {
+		t.Fatal("filesystem rows wrong")
+	}
+	if !strings.Contains(w98, "Plus! 98") {
+		t.Fatal("Plus! pack row missing from Win98 config")
+	}
+}
+
+func campaignResults(t *testing.T) map[workload.Class]*core.Result {
+	t.Helper()
+	out := map[workload.Class]*core.Result{}
+	for _, wl := range []workload.Class{workload.Business, workload.Games} {
+		out[wl] = core.Run(core.RunConfig{
+			OS: ospersona.Win98, Workload: wl,
+			Duration: 10 * time.Second, Seed: 9,
+		})
+	}
+	return out
+}
+
+func TestTable3RendersAllRows(t *testing.T) {
+	// Full four-class map (reuse the two-run results for the others; the
+	// builder only requires presence).
+	results := campaignResults(t)
+	results[workload.Workstation] = results[workload.Business]
+	results[workload.Web] = results[workload.Games]
+	out := render(t, Table3(results, "Table 3 test").Write)
+	for _, want := range []string{
+		"H/W Int. to S/W ISR",
+		"S/W ISR to DPC",
+		"H/W Interrupt to DPC",
+		"DPC to kernel RT thread (High Priority)",
+		"H/W Int. to kernel RT thread (Med. Priority)",
+		"Office Hr", "Web Wk",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Win98 results carry the legacy split: no n/a cells.
+	if strings.Contains(out, "n/a") {
+		t.Fatalf("unexpected n/a for Win98 results:\n%s", out)
+	}
+}
+
+func TestTable3NTSideMarksLegacyRowsNA(t *testing.T) {
+	results := map[workload.Class]*core.Result{}
+	for _, wl := range workload.Classes {
+		results[wl] = core.Run(core.RunConfig{
+			OS: ospersona.NT4, Workload: wl,
+			Duration: 5 * time.Second, Seed: 9,
+		})
+	}
+	out := render(t, Table3(results, "NT").Write)
+	if !strings.Contains(out, "n/a") {
+		t.Fatal("NT table should mark the legacy-hook rows n/a")
+	}
+}
+
+func TestFigure4Panels(t *testing.T) {
+	results := campaignResults(t)
+	dpc, t28, t24 := Figure4Panels(results)
+	if len(dpc) != 2 || len(t28) != 2 || len(t24) != 2 {
+		t.Fatalf("panel sizes: %d %d %d", len(dpc), len(t28), len(t24))
+	}
+	if dpc[0].Label != "Business Apps" {
+		t.Fatalf("series order/label: %q", dpc[0].Label)
+	}
+	if len(t28[0].Points) == 0 {
+		t.Fatal("empty series")
+	}
+}
+
+func TestMTTFTable(t *testing.T) {
+	results := campaignResults(t)
+	curves := map[workload.Class][]mttf.Point{}
+	for wl, r := range results {
+		curves[wl] = mttf.Sweep(r.DpcInt, r.UsageObserved(), 4, 0.25, 5)
+	}
+	out := render(t, MTTFTable(curves, "Figure 6 test").Write)
+	if !strings.Contains(out, "Buffering (ms)") || !strings.Contains(out, "3D Games MTTF(s)") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3+4 { // title, header, separator + 4 buffer levels
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestShortNames(t *testing.T) {
+	want := map[workload.Class]string{
+		workload.Business:    "Office",
+		workload.Workstation: "Wkstn",
+		workload.Games:       "Games",
+		workload.Web:         "Web",
+	}
+	for c, s := range want {
+		if ShortName(c) != s {
+			t.Errorf("ShortName(%v) = %q", c, ShortName(c))
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package hw models the PC hardware devices of the paper's test system
+// (Table 2) at the level the latency study needs: devices take programmed
+// commands, consume virtual time, and assert interrupt lines. The ISR/DPC
+// halves of their drivers live with the OS personality (ospersona package);
+// this package is "the board".
+package hw
+
+// IRQLine is an interrupt line into the interrupt controller/kernel.
+// *kernel.Interrupt satisfies it.
+type IRQLine interface {
+	Assert()
+}
+
+// LineFunc adapts a function to an IRQLine, mainly for tests.
+type LineFunc func()
+
+// Assert implements IRQLine.
+func (f LineFunc) Assert() { f() }

@@ -1,0 +1,68 @@
+package interactive
+
+import (
+	"testing"
+	"time"
+
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/workload"
+)
+
+func TestIdleResponseIsFast(t *testing.T) {
+	r := Run(Config{OS: ospersona.NT4, Idle: true, Duration: 30 * time.Second})
+	if r.Events < 50 {
+		t.Fatalf("only %d events", r.Events)
+	}
+	// Unloaded: echo ≈ the 8 ms processing cost.
+	if p := r.Freq.Millis(r.Response.Quantile(0.5)); p < 7 || p > 12 {
+		t.Fatalf("idle median response %.1f ms, want ~8", p)
+	}
+	if got := r.WithinMS(50); got < 0.999 {
+		t.Fatalf("idle responsiveness %.4f, want ~1", got)
+	}
+}
+
+// The §1.2 observation, computed: both systems remain "adequately
+// responsive" by the interactive standard (50–150 ms) under the business
+// load — the methodology cannot surface the real-time gap that the
+// latency-distribution methodology shows on the same machines.
+func TestBothSystemsLookResponsiveUnderLoad(t *testing.T) {
+	for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+		r := Run(Config{
+			OS:       osSel,
+			Workload: workload.Business,
+			Duration: time.Minute,
+			Seed:     5,
+		})
+		if r.Events < 100 {
+			t.Fatalf("%v: only %d events", osSel, r.Events)
+		}
+		if got := r.WithinMS(150); got < 0.95 {
+			t.Fatalf("%v: only %.1f%% within 150 ms — interactive adequacy should hold",
+				osSel, got*100)
+		}
+	}
+}
+
+func TestLoadSlowsResponseTail(t *testing.T) {
+	// The foreground thread outranks the stress apps, so the load shows
+	// up in the tail (scheduler locks, DPC storms), not the mean.
+	idle := Run(Config{OS: ospersona.Win98, Idle: true, Duration: time.Minute, Seed: 3})
+	loaded := Run(Config{OS: ospersona.Win98, Workload: workload.Games, Duration: time.Minute, Seed: 3})
+	iq := idle.Freq.Millis(idle.Response.Quantile(0.99))
+	lq := loaded.Freq.Millis(loaded.Response.Quantile(0.99))
+	if lq <= iq {
+		t.Fatalf("loaded p99 %.2f ms not above idle p99 %.2f ms", lq, iq)
+	}
+	if loaded.Response.Max() <= idle.Response.Max() {
+		t.Fatal("loaded worst response should exceed idle worst")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{OS: ospersona.Win98, Workload: workload.Business, Duration: 20 * time.Second, Seed: 7}
+	a, b := Run(cfg), Run(cfg)
+	if a.Events != b.Events || a.Response.Mean() != b.Response.Mean() {
+		t.Fatal("interactive runs not deterministic")
+	}
+}

@@ -1,0 +1,53 @@
+package kernel
+
+import "wdmlat/internal/sim"
+
+// IRP is an I/O request packet. The paper's control application exchanges
+// IRPs with the measurement driver via ReadFileEx; the driver writes the
+// three captured time stamps into the system buffer and completes the
+// request (§2.2). ASB mirrors IRP->AssociatedIrp.SystemBuffer, which the
+// paper "pretends is of type LARGE_INTEGER" — slot 0 is the I/O-read TSC,
+// slot 1 the DPC TSC, slot 2 the thread TSC.
+type IRP struct {
+	ASB [4]sim.Time
+	Tag any
+
+	// OnComplete is invoked by IoCompleteRequest. It stands in for the
+	// user-mode completion routine of ReadFileEx.
+	OnComplete func(irp *IRP, completedAt sim.Time)
+
+	completed   bool
+	createdAt   sim.Time
+	completedAt sim.Time
+}
+
+// NewIRP allocates a request packet stamped with its creation time.
+func (k *Kernel) NewIRP() *IRP {
+	return &IRP{createdAt: k.now()}
+}
+
+// Completed reports whether the IRP has been completed.
+func (irp *IRP) Completed() bool { return irp.completed }
+
+// CompletedAt returns when the IRP completed (zero if not yet).
+func (irp *IRP) CompletedAt() sim.Time { return irp.completedAt }
+
+// completeIrp is IoCompleteRequest: mark the packet done and deliver it to
+// its originator. Completing an already-completed IRP panics — the real
+// bug check (MULTIPLE_IRP_COMPLETE_REQUESTS) is fatal too.
+func (k *Kernel) completeIrp(irp *IRP) {
+	if irp.completed {
+		panic("kernel: IRP completed twice")
+	}
+	irp.completed = true
+	irp.completedAt = k.now()
+	if irp.OnComplete != nil {
+		irp.OnComplete(irp, irp.completedAt)
+	}
+}
+
+// CompleteIrp completes an IRP from simulation-harness context.
+func (k *Kernel) CompleteIrp(irp *IRP) {
+	k.completeIrp(irp)
+	k.maybeRun()
+}

@@ -1,0 +1,104 @@
+// Package kernel implements a discrete-event model of the Windows Driver
+// Model execution hierarchy that the paper measures (§4.1):
+//
+//  1. Interrupt Service Routines, executing at device IRQLs (DIRQLs) up to
+//     the clock level, preemptible only by higher DIRQLs,
+//  2. Deferred Procedure Calls, drained FIFO from a single queue with three
+//     importances, running below all ISRs; DPCs cannot preempt DPCs,
+//  3. Real-time priority threads (Win32 priorities 16–31, default 24),
+//  4. Normal priority threads (1–15),
+//
+// plus the machinery the measurement tools need: dispatcher objects
+// (synchronization/notification events, semaphores, mutexes), single-shot
+// and periodic timers processed by the clock-tick ISR, a kernel work-item
+// queue serviced by a real-time default-priority worker thread, and IRP
+// completion back to a control application.
+//
+// The same kernel mechanics serve both operating systems under test; the
+// differences between Windows NT 4.0 and Windows 98 live in a Config of
+// cost distributions plus "overhead episodes" (interrupt-masked and
+// scheduler-locked windows) injected by the ospersona package.
+package kernel
+
+import "fmt"
+
+// IRQL is an interrupt request level as defined by WDM. PASSIVE_LEVEL is
+// where threads normally run; DISPATCH_LEVEL is where DPCs and the
+// scheduler run; device interrupts are assigned DIRQLs above DISPATCH; the
+// clock runs above all ordinary devices; HIGH_LEVEL masks everything.
+type IRQL int
+
+// The WDM IRQL ladder (NT x86 values).
+const (
+	PassiveLevel  IRQL = 0
+	APCLevel      IRQL = 1
+	DispatchLevel IRQL = 2
+	// DIRQLs for ordinary devices occupy 3..26.
+	MinDeviceIRQL IRQL = 3
+	MaxDeviceIRQL IRQL = 26
+	ProfileLevel  IRQL = 27
+	ClockLevel    IRQL = 28 // the PIT interrupt runs here
+	IPILevel      IRQL = 29
+	PowerLevel    IRQL = 30
+	HighLevel     IRQL = 31
+)
+
+// String implements fmt.Stringer.
+func (q IRQL) String() string {
+	switch q {
+	case PassiveLevel:
+		return "PASSIVE_LEVEL"
+	case APCLevel:
+		return "APC_LEVEL"
+	case DispatchLevel:
+		return "DISPATCH_LEVEL"
+	case ClockLevel:
+		return "CLOCK_LEVEL"
+	case HighLevel:
+		return "HIGH_LEVEL"
+	default:
+		if q >= MinDeviceIRQL && q <= MaxDeviceIRQL {
+			return fmt.Sprintf("DIRQL(%d)", int(q))
+		}
+		return fmt.Sprintf("IRQL(%d)", int(q))
+	}
+}
+
+// Thread priorities. WDM exposes Win32 priorities 1..31; 16..31 are the
+// real-time class. 24 is the real-time default (the paper's "medium"
+// measurement thread), 28 its "high" measurement thread.
+const (
+	MinPriority         = 0
+	IdlePriority        = 0
+	NormalPriority      = 8
+	MinRealtimePriority = 16
+	RealtimeDefault     = 24 // "Real-time Priority: ... 24 is the default."
+	RealtimeHigh        = 28
+	MaxPriority         = 31
+	NumPriorities       = 32
+)
+
+// Preemption levels order CPU occupancy. Anything with a higher level
+// preempts anything with a lower one; threads occupy the base level and are
+// ordered among themselves by thread priority.
+//
+// levelSchedLock sits between DPCs and threads: a scheduler-locked overhead
+// episode stalls thread dispatch while still letting interrupts and DPCs
+// run. This is the mechanism behind Windows 98's thread-latency tail being
+// ~10x its DPC-latency tail (Figure 4): legacy VMM/Win16 regions block
+// rescheduling, not interrupt processing.
+const (
+	levelThread    = 0
+	levelSchedLock = 1
+	levelDispatch  = 2 // DPCs
+	levelIsrBase   = 10
+	levelIntMask   = 1000
+)
+
+// isrLevel maps a device IRQL to its preemption level.
+func isrLevel(irql IRQL) int {
+	if irql < MinDeviceIRQL || irql > HighLevel {
+		panic(fmt.Sprintf("kernel: ISR at non-device IRQL %v", irql))
+	}
+	return levelIsrBase + int(irql)
+}

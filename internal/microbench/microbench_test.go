@@ -1,0 +1,79 @@
+package microbench
+
+import (
+	"testing"
+
+	"wdmlat/internal/ospersona"
+)
+
+func TestSuiteProducesPlausibleAverages(t *testing.T) {
+	r := Run(ospersona.NT4, 1, 200)
+	if r.OSName == "" {
+		t.Fatal("missing OS name")
+	}
+	check := func(name string, s Stat, loUS, hiUS float64) {
+		t.Helper()
+		if s.N < 200 {
+			t.Fatalf("%s: only %d samples", name, s.N)
+		}
+		if s.MeanUS < loUS || s.MeanUS > hiUS {
+			t.Fatalf("%s mean = %.2f µs, want in [%v, %v]", name, s.MeanUS, loUS, hiUS)
+		}
+	}
+	// Late-90s magnitudes: tens of µs for switches and signals, a few µs
+	// for dispatch, sub-PIT-period for timer error.
+	check("context switch", r.ContextSwitch, 5, 100)
+	check("event signal", r.EventSignal, 5, 100)
+	check("dpc dispatch", r.DpcDispatch, 0.5, 20)
+	check("interrupt dispatch", r.InterruptDispatch, 0.5, 20)
+	check("timer granularity", r.TimerGranularity, 1, 1100)
+}
+
+// The paper's §1.2/§4.2 point, in one test: the traditional suite cannot
+// separate the systems (averages within ~3x) even though their loaded
+// worst cases differ by orders of magnitude (asserted in internal/core).
+func TestAveragesCannotSeparateTheSystems(t *testing.T) {
+	nt := Run(ospersona.NT4, 2, 300)
+	w98 := Run(ospersona.Win98, 2, 300)
+	ratio := func(a, b float64) float64 {
+		if a < b {
+			a, b = b, a
+		}
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	pairs := []struct {
+		name   string
+		nt, w9 Stat
+	}{
+		{"context switch", nt.ContextSwitch, w98.ContextSwitch},
+		{"event signal", nt.EventSignal, w98.EventSignal},
+		{"dpc dispatch", nt.DpcDispatch, w98.DpcDispatch},
+		{"interrupt dispatch", nt.InterruptDispatch, w98.InterruptDispatch},
+	}
+	for _, p := range pairs {
+		if r := ratio(p.nt.MeanUS, p.w9.MeanUS); r > 3 {
+			t.Errorf("%s: idle-system averages differ %.1fx — the strawman should look close", p.name, r)
+		}
+	}
+}
+
+func TestWin2000BetaRuns(t *testing.T) {
+	r := Run(ospersona.Win2000Beta, 3, 100)
+	if r.OSName != "Windows 2000 Beta 2 (NT 5.0)" {
+		t.Fatalf("OS name = %q", r.OSName)
+	}
+	if r.ContextSwitch.MeanUS <= 0 {
+		t.Fatal("no context switch data")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(ospersona.Win98, 9, 100)
+	b := Run(ospersona.Win98, 9, 100)
+	if a != b {
+		t.Fatalf("suite not deterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,126 @@
+// Package mttf implements the paper's quality-of-service analyses:
+//
+//   - Table 1: latency tolerances of low-latency streaming applications,
+//     (n-1)·t for n buffers of t milliseconds;
+//   - §5.1 / Figures 6–7: mean time to buffer underrun for a soft-modem
+//     datapump as a function of total buffering, derived from a measured
+//     latency table: "calculating the slack time for each amount of
+//     buffering (i.e., t*(n-1) − c ...). This number is used to index into
+//     the latency table to determine the frequency with which such
+//     latencies occur, and this frequency is divided by an approximation of
+//     the cycle time (for simplicity, (n-1)*t)".
+package mttf
+
+import (
+	"math"
+
+	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
+)
+
+// Application is one Table 1 row: a low-latency streaming application with
+// its typical buffer size and count ranges.
+type Application struct {
+	Name       string
+	BufMinMS   float64 // t range
+	BufMaxMS   float64
+	BuffersMin int // n range
+	BuffersMax int
+	Note       string
+}
+
+// ToleranceRow is one Table 1 row together with its published latency
+// tolerance range ("tolerance range roughly (nmax−1)*tmin to (nmin−1)*tmax
+// ms", per the table's caption).
+type ToleranceRow struct {
+	App     Application
+	TolLoMS float64
+	TolHiMS float64
+}
+
+// Table1 returns the paper's Table 1 rows with their published tolerance
+// ranges in milliseconds.
+func Table1() []ToleranceRow {
+	return []ToleranceRow{
+		{Application{"ADSL", 2, 4, 2, 6, "G.992.2 splitterless ADSL"}, 4, 10},
+		{Application{"Modem", 4, 16, 2, 6, "V.90 soft modem datapump"}, 12, 20},
+		{Application{"RT audio", 8, 24, 2, 8, "8 buffers is KMixer's max; 4 more realistic"}, 20, 60},
+		{Application{"RT video", 33, 50, 2, 3, "20-30 fps"}, 33, 100},
+	}
+}
+
+// ToleranceMS is the latency tolerance (n−1)·t of a specific configuration.
+func ToleranceMS(bufMS float64, buffers int) float64 {
+	return float64(buffers-1) * bufMS
+}
+
+// Point is one Figure 6/7 sample: total buffering versus mean time to
+// underrun.
+type Point struct {
+	BufferingMS float64
+	MTTFSeconds float64
+	// Censored marks buffering levels whose slack exceeds every observed
+	// latency: the data only supports "no underrun observed", so
+	// MTTFSeconds holds the observation-span lower bound.
+	Censored bool
+}
+
+// Analytic computes the §5 estimate for one configuration: cycle time t ms,
+// n buffers, compute c ms, against the latency distribution h observed over
+// `observed` cycles. The distribution should match the datapump's
+// modality: DPC-interrupt latency for a DPC-based pump, hardware-interrupt-
+// to-thread latency for a thread-based one.
+func Analytic(h *stats.Histogram, observed sim.Cycles, cycleMS float64, buffers int, computeMS float64) Point {
+	freq := h.Freq()
+	buffering := ToleranceMS(cycleMS, buffers)
+	slackMS := buffering - computeMS
+	pt := Point{BufferingMS: buffering}
+	if slackMS <= 0 {
+		pt.MTTFSeconds = 0 // every cycle misses
+		return pt
+	}
+	p := h.CCDF(freq.FromMillis(slackMS))
+	period := buffering / 1e3 // "(n-1)*t" in seconds, the paper's approximation
+	if p <= 0 {
+		pt.Censored = true
+		pt.MTTFSeconds = freq.Duration(observed).Seconds()
+		return pt
+	}
+	pt.MTTFSeconds = period / p
+	return pt
+}
+
+// Sweep produces a Figure 6/7 curve: MTTF for every buffering level in
+// steps of the cycle time, with the compute cost fixed at computeFraction
+// of the cycle.
+func Sweep(h *stats.Histogram, observed sim.Cycles, cycleMS float64, computeFraction float64, maxBuffers int) []Point {
+	if maxBuffers < 2 {
+		maxBuffers = 2
+	}
+	computeMS := cycleMS * computeFraction
+	var out []Point
+	for n := 2; n <= maxBuffers; n++ {
+		pt := Analytic(h, observed, cycleMS, n, computeMS)
+		// MTTF is monotone in buffering by construction; a censored point
+		// (no observed event beyond the slack) is a *lower bound*, so it
+		// can be tightened to the best preceding finite estimate.
+		if pt.Censored && len(out) > 0 && out[len(out)-1].MTTFSeconds > pt.MTTFSeconds {
+			pt.MTTFSeconds = out[len(out)-1].MTTFSeconds
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// MinBufferingFor returns the smallest buffering (ms, in whole cycles) at
+// which the analytic MTTF reaches the target, or ok=false if no tested
+// level reaches it. This answers §5.1 questions like "how much buffering
+// for an hour between misses while playing an average 3D game?".
+func MinBufferingFor(h *stats.Histogram, observed sim.Cycles, cycleMS float64, computeFraction float64, targetSeconds float64, maxBuffers int) (float64, bool) {
+	for _, pt := range Sweep(h, observed, cycleMS, computeFraction, maxBuffers) {
+		if pt.MTTFSeconds >= targetSeconds && !math.IsNaN(pt.MTTFSeconds) {
+			return pt.BufferingMS, true
+		}
+	}
+	return 0, false
+}

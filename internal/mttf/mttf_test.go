@@ -1,0 +1,170 @@
+package mttf
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
+)
+
+const freq = sim.DefaultFreq
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	want := map[string][2]float64{
+		"ADSL":     {4, 10},
+		"Modem":    {12, 20},
+		"RT audio": {20, 60},
+		"RT video": {33, 100},
+	}
+	for _, r := range rows {
+		w, ok := want[r.App.Name]
+		if !ok {
+			t.Fatalf("unexpected row %q", r.App.Name)
+		}
+		if r.TolLoMS != w[0] || r.TolHiMS != w[1] {
+			t.Errorf("%s tolerance = %v..%v, want %v..%v", r.App.Name, r.TolLoMS, r.TolHiMS, w[0], w[1])
+		}
+	}
+	// The two most processor-intensive applications, ADSL and video, sit
+	// at opposite ends of the tolerance spectrum (§1).
+	if rows[0].TolHiMS >= rows[3].TolLoMS {
+		t.Error("ADSL tolerance should sit far below video tolerance")
+	}
+}
+
+func TestToleranceFormula(t *testing.T) {
+	if ToleranceMS(6, 3) != 12 {
+		t.Fatalf("(3-1)*6 = %v", ToleranceMS(6, 3))
+	}
+	if ToleranceMS(16, 2) != 16 {
+		t.Fatalf("(2-1)*16 = %v", ToleranceMS(16, 2))
+	}
+}
+
+// buildLatencyTable builds a measured-looking distribution: dense fast
+// samples plus a controlled tail.
+func buildLatencyTable() (*stats.Histogram, sim.Cycles) {
+	h := stats.NewHistogram(freq)
+	// 1 hour at 250 samples/s.
+	total := 900_000
+	for i := 0; i < total-91; i++ {
+		h.AddMillis(0.3)
+	}
+	for i := 0; i < 90; i++ {
+		h.AddMillis(11) // ~1.5/min events of 11 ms
+	}
+	h.AddMillis(45)
+	return h, freq.Cycles(time.Hour)
+}
+
+func TestAnalyticMatchesHandComputation(t *testing.T) {
+	h, obs := buildLatencyTable()
+	// Triple buffered 6 ms buffers: buffering 12 ms, compute 1.5 ms,
+	// slack 10.5 ms. P(lat >= 10.5ms) = 91/900000 (the 11 ms and 45 ms
+	// samples). MTTF = 0.012 s / p.
+	pt := Analytic(h, obs, 6, 3, 1.5)
+	if pt.BufferingMS != 12 {
+		t.Fatalf("buffering = %v", pt.BufferingMS)
+	}
+	p := 91.0 / 900000.0
+	want := 0.012 / p
+	if math.Abs(pt.MTTFSeconds-want)/want > 0.02 {
+		t.Fatalf("MTTF = %v s, want ~%v", pt.MTTFSeconds, want)
+	}
+	if pt.Censored {
+		t.Fatal("should not be censored")
+	}
+}
+
+func TestAnalyticZeroSlackAlwaysMisses(t *testing.T) {
+	h, obs := buildLatencyTable()
+	// 2 buffers of 1 ms with 1.5 ms compute: slack negative.
+	pt := Analytic(h, obs, 1, 2, 1.5)
+	if pt.MTTFSeconds != 0 {
+		t.Fatalf("negative slack should give MTTF 0, got %v", pt.MTTFSeconds)
+	}
+}
+
+func TestAnalyticCensoredBeyondObservedMax(t *testing.T) {
+	h, obs := buildLatencyTable()
+	// Slack beyond 45 ms: no observed event ⇒ censored at the observation
+	// span.
+	pt := Analytic(h, obs, 16, 5, 0) // buffering 64, slack 64
+	if !pt.Censored {
+		t.Fatal("should be censored")
+	}
+	if math.Abs(pt.MTTFSeconds-3600) > 1 {
+		t.Fatalf("censored MTTF = %v, want observation span", pt.MTTFSeconds)
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	h, obs := buildLatencyTable()
+	pts := Sweep(h, obs, 6, 0.25, 12)
+	if len(pts) != 11 {
+		t.Fatalf("sweep has %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BufferingMS <= pts[i-1].BufferingMS {
+			t.Fatal("buffering not increasing")
+		}
+		if pts[i].MTTFSeconds+1e-9 < pts[i-1].MTTFSeconds {
+			t.Fatalf("MTTF not monotone at %v ms: %v < %v",
+				pts[i].BufferingMS, pts[i].MTTFSeconds, pts[i-1].MTTFSeconds)
+		}
+	}
+}
+
+func TestMinBufferingFor(t *testing.T) {
+	h, obs := buildLatencyTable()
+	// For an hour between misses we need slack beyond the 11 ms events
+	// (which occur 91 times/hour): buffering - 1.5 > 11 → >= 12.5 → with
+	// 6 ms cycles, buffering 18 (n=4) is the first level above.
+	b, ok := MinBufferingFor(h, obs, 6, 0.25, 3600, 12)
+	if !ok {
+		t.Fatal("no buffering level found")
+	}
+	if b != 18 {
+		t.Fatalf("min buffering = %v, want 18", b)
+	}
+	// A 1-second target is met by the smallest level already.
+	b, ok = MinBufferingFor(h, obs, 6, 0.25, 1, 12)
+	if !ok || b != 6 {
+		t.Fatalf("easy target: %v %v", b, ok)
+	}
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	// Reproduce the §5.1 reading exercise shape: on a distribution whose
+	// ~10.5 ms events occur every ~12-15 minutes, 12 ms of buffering gives
+	// a 12-15 minute MTTF and 20 ms of buffering (slack 17.5) gives much
+	// more.
+	h := stats.NewHistogram(freq)
+	total := 900_000 // one hour at 250/s
+	for i := 0; i < total-5; i++ {
+		h.AddMillis(0.5)
+	}
+	for i := 0; i < 4; i++ {
+		h.AddMillis(12) // 4/hour ≈ one per 15 min
+	}
+	h.AddMillis(25) // 1/hour
+	obs := freq.Cycles(time.Hour)
+
+	at12 := Analytic(h, obs, 6, 3, 1.5)
+	if at12.MTTFSeconds < 400 || at12.MTTFSeconds > 2500 {
+		t.Fatalf("12 ms buffering MTTF = %v s, want ~O(10 min)", at12.MTTFSeconds)
+	}
+	at30 := Analytic(h, obs, 10, 4, 2.5) // buffering 30, slack 27.5
+	if !at30.Censored && at30.MTTFSeconds < 3600 {
+		t.Fatalf("30 ms buffering MTTF = %v s, want > 1 hour", at30.MTTFSeconds)
+	}
+	if at30.MTTFSeconds <= at12.MTTFSeconds {
+		t.Fatal("more buffering must not reduce MTTF")
+	}
+}

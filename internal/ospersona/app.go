@@ -1,0 +1,122 @@
+package ospersona
+
+import (
+	"wdmlat/internal/kernel"
+	"wdmlat/internal/sim"
+)
+
+// Op is one step of an application script.
+type Op struct {
+	// Compute cycles to execute in thread context.
+	Compute sim.Cycles
+	// ReadBytes / WriteBytes perform a synchronous file operation of the
+	// given size (the app blocks until the disk completes).
+	ReadBytes, WriteBytes int
+	// UI emits a user-interface event (and its sound-scheme side effects).
+	UI bool
+	// ThinkMS pauses the app (user think time); MS-Test-driven benchmarks
+	// set it to zero ("the complete absence of think time", §3.1.1).
+	ThinkMS float64
+	// PageFaultPages models a working-set fault burst before the op.
+	PageFaultPages int
+}
+
+// App is a foreground application: a normal-priority thread executing a
+// queue of Ops. Throughput experiments (§4.2) measure how fast an App
+// drains a fixed script; stress workloads use Apps to keep the CPU and
+// disk busy the way Winstone's applications do.
+type App struct {
+	m      *Machine
+	Name   string
+	thread *kernel.Thread
+	sem    *kernel.Semaphore
+	queue  []Op
+	done   uint64
+	ioWait *kernel.Event
+	idleEv *kernel.Event // signaled every time the queue drains
+}
+
+// NewApp creates an application thread at normal priority.
+func (m *Machine) NewApp(name string) *App {
+	a := &App{
+		m:      m,
+		Name:   name,
+		sem:    m.Kernel.NewSemaphore(0, 1<<30),
+		ioWait: m.Kernel.NewEvent(name+".io", kernel.SynchronizationEvent),
+		idleEv: m.Kernel.NewEvent(name+".idle", kernel.NotificationEvent),
+	}
+	a.thread = m.Kernel.CreateThread(name, kernel.NormalPriority, a.run)
+	return a
+}
+
+// Submit appends ops to the app's script. Callable from simulation-harness
+// context (workload generator events).
+func (a *App) Submit(ops ...Op) {
+	if len(ops) == 0 {
+		return
+	}
+	a.queue = append(a.queue, ops...)
+	a.m.Kernel.ReleaseSemaphore(a.sem, len(ops))
+}
+
+// Done returns the number of completed ops.
+func (a *App) Done() uint64 { return a.done }
+
+// Pending returns the number of queued, unfinished ops.
+func (a *App) Pending() int { return len(a.queue) }
+
+// IdleEvent is signaled whenever the app drains its queue; throughput
+// harnesses wait on it to time a script.
+func (a *App) IdleEvent() *kernel.Event { return a.idleEv }
+
+func (a *App) run(tc *kernel.ThreadContext) {
+	for {
+		tc.Wait(a.sem)
+		var op Op
+		tc.Do(func() {
+			op = a.queue[0]
+			a.queue = a.queue[1:]
+		})
+		a.exec(tc, op)
+		tc.Do(func() {
+			a.done++
+			if len(a.queue) == 0 {
+				a.m.Kernel.SetEvent(a.idleEv)
+			}
+		})
+	}
+}
+
+func (a *App) exec(tc *kernel.ThreadContext, op Op) {
+	if op.PageFaultPages > 0 {
+		tc.Do(func() { a.m.PageFaultBurst(op.PageFaultPages) })
+	}
+	if op.UI {
+		tc.Do(a.m.UIEvent)
+		tc.Exec(a.m.MS(0.05)) // message pump handling
+	}
+	if op.ThinkMS > 0 {
+		tc.Sleep(a.m.MS(op.ThinkMS))
+	}
+	if op.Compute > 0 {
+		tc.Exec(op.Compute)
+	}
+	if op.ReadBytes > 0 {
+		a.fileSync(tc, op.ReadBytes, false)
+	}
+	if op.WriteBytes > 0 {
+		a.fileSync(tc, op.WriteBytes, true)
+	}
+}
+
+// fileSync performs a blocking file operation: submit through the machine's
+// file-system path and wait for the disk DPC to signal completion.
+func (a *App) fileSync(tc *kernel.ThreadContext, bytes int, write bool) {
+	tc.Do(func() {
+		a.m.FileOp(bytes, write, func(c *kernel.DpcContext) {
+			c.SetEvent(a.ioWait)
+		})
+	})
+	tc.Wait(a.ioWait)
+	tc.Exec(sim.Cycles(bytes/64) + 2000) // copy to user buffer
+}

@@ -1,0 +1,408 @@
+// Package ospersona instantiates the two operating systems under test. The
+// kernel mechanics (ISR/DPC/thread hierarchy) are shared — WDM is a common
+// driver model — but the two implementations differ enormously in their
+// timing behaviour (paper §6: "the two implementations of the Windows
+// Driver Model, although functionally compatible, are very different in
+// their timing behavior"). Those differences are expressed here as:
+//
+//   - kernel cost configurations (dispatch, context switch, tick costs),
+//   - interference responses: how much interrupt-masked time,
+//     scheduler-locked time, DPC work and passive work each kind of
+//     workload activity induces,
+//   - optional extras: the Plus! 98 virus scanner and the Windows sound
+//     schemes whose effects the paper isolates (Figure 5, Table 4).
+//
+// The calibration targets are the paper's own measurements (Figure 4,
+// Table 3); see DESIGN.md §5 and EXPERIMENTS.md for the comparison.
+package ospersona
+
+import (
+	"wdmlat/internal/cpu"
+	"wdmlat/internal/kernel"
+	"wdmlat/internal/sim"
+)
+
+// OS selects a personality.
+type OS int
+
+// The two operating systems of the paper (Table 2), plus the Windows 2000
+// Beta the authors "continue to monitor" (§6.1).
+const (
+	NT4 OS = iota // Windows NT 4.0 SP3
+	Win98
+	Win2000Beta // "Windows 2000 was previously Windows NT 5.0"
+)
+
+// String implements fmt.Stringer.
+func (o OS) String() string {
+	switch o {
+	case NT4:
+		return "Windows NT 4.0"
+	case Win98:
+		return "Windows 98"
+	case Win2000Beta:
+		return "Windows 2000 Beta"
+	default:
+		return "OS(?)"
+	}
+}
+
+// frames is a rotation of module/function attributions for overhead
+// episodes; the cause tool samples whichever is on-CPU (§2.3, Table 4).
+type frameSet []cpu.Frame
+
+func (f frameSet) pick(r *sim.RNG) cpu.Frame {
+	return f[r.Intn(len(f))]
+}
+
+// eventResponse describes what one workload activity event induces in the
+// OS: probabilistic interrupt-masked and scheduler-locked windows, DPC
+// work, and passive-level work-item cycles.
+type eventResponse struct {
+	// MaskProb/Mask: probability and length of an interrupt-masked window.
+	MaskProb float64
+	Mask     sim.Dist
+	// LockProb/Lock: probability and length of a scheduler-locked window.
+	LockProb float64
+	Lock     sim.Dist
+	// DpcWork: extra cycles executed in the device DPC for this event.
+	DpcWork sim.Dist
+	// WorkItemProb/WorkItem: passive work queued to the kernel worker
+	// (runs at real-time default priority — the NT RT-24 interference).
+	WorkItemProb float64
+	WorkItem     sim.Dist
+}
+
+// Profile is the full behavioural envelope of one OS personality.
+type Profile struct {
+	OS     OS
+	Name   string
+	Kernel kernel.Config
+
+	// SupportsLegacyTimerHook reports whether a driver may patch the PIT
+	// IDT vector (Windows 9x legacy interface, §2.2). The NT personality
+	// refuses: "on Windows NT this would require source code access".
+	SupportsLegacyTimerHook bool
+
+	// Responses per activity class.
+	FileOp    eventResponse
+	UIEvent   eventResponse
+	NetBurst  eventResponse // per delivered packet batch
+	Frame     eventResponse // per rendered 3D game frame
+	PageFault eventResponse // per hard page fault burst
+	AudioMix  eventResponse // per audio buffer mixed
+
+	// LockFrames / MaskFrames attribute episodes for the cause tool.
+	LockFrames frameSet
+	MaskFrames frameSet
+
+	// SoundScheme adds the Plus!-style UI sound processing: every UI event
+	// triggers SYSAUDIO/KMIXER work including VMM contiguous-memory
+	// allocations at raised IRQL (Table 4).
+	SoundScheme eventResponse
+	SoundFrames frameSet
+
+	// VirusScanner hooks file operations: long scheduler-locked scans that
+	// inflate the 16 ms thread-latency tail by two orders of magnitude
+	// (Figure 5).
+	VirusScanner eventResponse
+	ScanFrames   frameSet
+
+	// Disk geometry.
+	DiskSeek          sim.Dist
+	DiskBytesPerCycle float64
+}
+
+// ms converts milliseconds to cycles at the paper's 300 MHz.
+func ms(v float64) sim.Cycles { return sim.DefaultFreq.FromMillis(v) }
+
+// us converts microseconds to cycles at 300 MHz.
+func us(v float64) sim.Cycles { return sim.DefaultFreq.FromMillis(v / 1000) }
+
+// mix builds a two-component typical/tail mixture: the workhorse shape of
+// the Win98 profile (mostly-benign regions with a rare heavy tail).
+func mix(typical sim.Dist, tail sim.Dist, tailWeight float64) sim.Dist {
+	return sim.NewMixture([]sim.Dist{typical, tail}, []float64{1 - tailWeight, tailWeight})
+}
+
+// NT4Profile returns the Windows NT 4.0 personality.
+//
+// NT's execution levels are fully preemptible (§4.1): interrupt-masked
+// windows are short and bounded, scheduler-locked windows are the
+// dispatcher lock (tens of microseconds, rarely ~1 ms), and the dominant
+// real-time interference is (a) DPC work from device drivers and (b)
+// passive work items executing on the worker thread at real-time default
+// priority — which is invisible to a priority-28 thread and very visible to
+// a priority-24 one (§4.2).
+func NT4Profile() *Profile {
+	p := &Profile{
+		OS:   NT4,
+		Name: "Windows NT 4.0 SP3",
+		Kernel: kernel.Config{
+			Name:          "Windows NT 4.0 SP3",
+			IsrEntry:      sim.Uniform{Lo: us(1.5), Hi: us(3)},
+			IsrExit:       sim.Uniform{Lo: us(1), Hi: us(2)},
+			DpcDispatch:   sim.Uniform{Lo: us(1.5), Hi: us(3)},
+			ClockTick:     sim.Uniform{Lo: us(3), Hi: us(6)},
+			TimerFire:     sim.Uniform{Lo: us(1), Hi: us(3)},
+			ContextSwitch: sim.LogNormal{Mu: 8.6, Sigma: 0.5, Cap: us(60)}, // ~18 µs median, cache tail
+			Quantum:       ms(12),
+			// The WDM work-item queue is serviced at real-time default
+			// priority (paper §4.2) — the load-bearing constant for the
+			// NT RT-24 vs RT-28 gap.
+			WorkerPriority: kernel.RealtimeDefault,
+			PriorityBoost:  true,
+		},
+		SupportsLegacyTimerHook: false,
+
+		FileOp: eventResponse{
+			MaskProb: 0.15, Mask: sim.LogNormal{Mu: 7.0, Sigma: 0.8, Cap: us(150)}, // ~4 µs typ
+			LockProb: 0.3, Lock: sim.LogNormal{Mu: 8.0, Sigma: 0.9, Cap: ms(1.2)}, // dispatcher/FS locks
+			DpcWork:      sim.LogNormal{Mu: 8.3, Sigma: 0.7, Cap: ms(0.4)},
+			WorkItemProb: 0.25, WorkItem: sim.LogNormal{Mu: 12.6, Sigma: 1.0, Cap: ms(9)}, // NTFS post-processing
+		},
+		UIEvent: eventResponse{
+			LockProb: 0.2, Lock: sim.LogNormal{Mu: 7.6, Sigma: 0.8, Cap: us(600)},
+			DpcWork:      sim.Constant(0),
+			WorkItemProb: 0.05, WorkItem: sim.LogNormal{Mu: 11.8, Sigma: 0.9, Cap: ms(5)},
+		},
+		NetBurst: eventResponse{
+			MaskProb: 0.1, Mask: sim.LogNormal{Mu: 7.0, Sigma: 0.7, Cap: us(120)},
+			DpcWork:      sim.LogNormal{Mu: 9.2, Sigma: 0.8, Cap: ms(0.8)},                // NDIS per-batch
+			WorkItemProb: 0.35, WorkItem: sim.LogNormal{Mu: 12.2, Sigma: 1.0, Cap: ms(8)}, // TCP/IP passive work
+		},
+		Frame: eventResponse{
+			MaskProb: 0.08, Mask: sim.LogNormal{Mu: 7.4, Sigma: 0.9, Cap: us(400)},
+			LockProb: 0.1, Lock: sim.LogNormal{Mu: 8.2, Sigma: 0.8, Cap: ms(1.5)},
+			DpcWork: sim.LogNormal{Mu: 9.6, Sigma: 0.9, Cap: ms(1.2)}, // AGP/sound DPCs
+		},
+		PageFault: eventResponse{
+			LockProb: 0.5, Lock: sim.LogNormal{Mu: 8.8, Sigma: 0.9, Cap: ms(2)},
+			DpcWork:      sim.LogNormal{Mu: 8.0, Sigma: 0.6, Cap: us(200)},
+			WorkItemProb: 0.2, WorkItem: sim.LogNormal{Mu: 12.0, Sigma: 0.9, Cap: ms(6)},
+		},
+		AudioMix: eventResponse{
+			DpcWork: sim.LogNormal{Mu: 9.0, Sigma: 0.5, Cap: us(500)},
+		},
+
+		LockFrames: frameSet{
+			{Module: "NTOSKRNL", Function: "_KiDispatcherLock"},
+			{Module: "NTFS", Function: "_NtfsCommonRead"},
+			{Module: "NTOSKRNL", Function: "_MmAccessFault"},
+			{Module: "WIN32K", Function: "_UserSessionSwitch"},
+		},
+		MaskFrames: frameSet{
+			{Module: "HAL", Function: "_HalpClockInterruptStub"},
+			{Module: "NTOSKRNL", Function: "_KiAcquireSpinLock"},
+		},
+
+		// The sound scheme and virus scanner belong to the Win98 story;
+		// on NT the equivalents are mild (NT 4.0 shipped neither by
+		// default). They remain configurable for ablation.
+		SoundScheme: eventResponse{
+			DpcWork:  sim.LogNormal{Mu: 9.0, Sigma: 0.6, Cap: us(600)},
+			LockProb: 0.1, Lock: sim.LogNormal{Mu: 8.4, Sigma: 0.7, Cap: ms(1.5)},
+		},
+		SoundFrames: frameSet{
+			{Module: "SYSAUDIO", Function: "_ProcessTopologyConnection"},
+			{Module: "KMIXER", Function: ""},
+		},
+		VirusScanner: eventResponse{
+			LockProb: 0.1, Lock: sim.LogNormal{Mu: 10.8, Sigma: 0.8, Cap: ms(4)},
+		},
+		ScanFrames: frameSet{{Module: "VSCAN", Function: "_ScanFile"}},
+
+		DiskSeek:          sim.LogNormal{Mu: 14.4, Sigma: 0.5, Cap: ms(25)}, // ~6 ms median
+		DiskBytesPerCycle: 0.055,                                            // ~16.5 MB/s UDMA
+	}
+	return p
+}
+
+// Win98Profile returns the Windows 98 personality.
+//
+// Windows 98 carries the legacy Windows 95 schedulers underneath WDM
+// (§4.1 footnote): long interrupt-masked windows in VxDs, and — dominating
+// everything — scheduler-locked regions (Win16 lock, VMM services, paging
+// through _mmFindContig/_mmCalcFrameBadness) during which interrupts and
+// DPCs run but no thread is dispatched. The calibration reproduces Table 3:
+// interrupt latency tails of ~1.6/6.3/12.2/3.5 ms (business/workstation/
+// games/web, weekly) and hardware-interrupt-to-thread tails of ~33/31/84/84
+// ms, an order of magnitude above the same driver's DPC service.
+func Win98Profile() *Profile {
+	p := &Profile{
+		OS:   Win98,
+		Name: "Windows 98 (4.10.1998)",
+		Kernel: kernel.Config{
+			Name:     "Windows 98",
+			IsrEntry: sim.Uniform{Lo: us(2), Hi: us(5)},
+			IsrExit:  sim.Uniform{Lo: us(1.5), Hi: us(3)},
+			// DPC dispatch through NTKERN's emulation layer is slower.
+			DpcDispatch:    sim.Uniform{Lo: us(3), Hi: us(8)},
+			ClockTick:      sim.Uniform{Lo: us(4), Hi: us(9)},
+			TimerFire:      sim.Uniform{Lo: us(2), Hi: us(5)},
+			ContextSwitch:  sim.LogNormal{Mu: 8.9, Sigma: 0.6, Cap: us(120)}, // ~24 µs median
+			Quantum:        ms(20),
+			WorkerPriority: kernel.RealtimeDefault,
+			PriorityBoost:  true,
+		},
+		SupportsLegacyTimerHook: true,
+
+		FileOp: eventResponse{
+			// VFAT/IOS VxD paths run with interrupts off far longer than
+			// NT's spinlocked equivalents.
+			MaskProb: 0.25, Mask: sim.LogNormal{Mu: 9.2, Sigma: 1.0, Cap: ms(1.4)}, // ~33 µs typ, 1.4 ms tail
+			LockProb: 0.45, Lock: mix(
+				sim.LogNormal{Mu: 10.0, Sigma: 0.9, Cap: ms(6)},
+				sim.Pareto{Xm: ms(4), Alpha: 1.5, Cap: ms(33)},
+				0.00005),
+			DpcWork:      sim.LogNormal{Mu: 8.8, Sigma: 0.8, Cap: ms(0.6)},
+			WorkItemProb: 0.15, WorkItem: sim.LogNormal{Mu: 12.2, Sigma: 0.9, Cap: ms(6)},
+		},
+		UIEvent: eventResponse{
+			// The Win16 lock: GUI work blocks rescheduling.
+			LockProb: 0.5, Lock: mix(
+				sim.LogNormal{Mu: 9.6, Sigma: 0.9, Cap: ms(5)},
+				sim.Pareto{Xm: ms(5), Alpha: 1.5, Cap: ms(35)},
+				0.00001),
+			DpcWork: sim.Constant(0),
+		},
+		NetBurst: eventResponse{
+			MaskProb: 0.2, Mask: sim.LogNormal{Mu: 9.6, Sigma: 1.1, Cap: ms(3.5)},
+			LockProb: 0.3, Lock: mix(
+				sim.LogNormal{Mu: 11.2, Sigma: 1.0, Cap: ms(10)},
+				sim.Pareto{Xm: ms(8), Alpha: 1.4, Cap: ms(80)},
+				0.0025),
+			DpcWork: sim.LogNormal{Mu: 9.4, Sigma: 0.9, Cap: ms(1.0)},
+		},
+		Frame: eventResponse{
+			// Display and sound VxDs mask interrupts per frame; games show
+			// the worst Win98 interrupt latency in Table 3 (12.2 ms).
+			MaskProb: 0.3, Mask: mix(
+				sim.LogNormal{Mu: 9.6, Sigma: 0.9, Cap: ms(2.5)},
+				sim.Pareto{Xm: ms(2.5), Alpha: 1.4, Cap: ms(12.5)},
+				0.001),
+			LockProb: 0.35, Lock: mix(
+				sim.LogNormal{Mu: 10.6, Sigma: 1.0, Cap: ms(12)},
+				sim.Pareto{Xm: ms(8), Alpha: 1.4, Cap: ms(85)},
+				0.001),
+			DpcWork: sim.LogNormal{Mu: 10.2, Sigma: 0.9, Cap: ms(2.0)},
+		},
+		PageFault: eventResponse{
+			LockProb: 0.7, Lock: mix(
+				sim.LogNormal{Mu: 10.8, Sigma: 0.9, Cap: ms(10)},
+				sim.Pareto{Xm: ms(6), Alpha: 1.5, Cap: ms(25)},
+				0.003),
+			MaskProb: 0.1, Mask: mix(
+				sim.LogNormal{Mu: 9.4, Sigma: 1.0, Cap: ms(2)},
+				sim.Pareto{Xm: ms(2), Alpha: 1.5, Cap: ms(6.5)},
+				0.008),
+			DpcWork: sim.LogNormal{Mu: 8.4, Sigma: 0.7, Cap: us(400)},
+		},
+		AudioMix: eventResponse{
+			DpcWork: sim.LogNormal{Mu: 9.6, Sigma: 0.6, Cap: ms(0.8)},
+		},
+
+		LockFrames: frameSet{
+			{Module: "VMM", Function: "_mmCalcFrameBadness"},
+			{Module: "VMM", Function: "_mmFindContig"},
+			{Module: "VMM", Function: "@KfLowerIrqI"},
+			{Module: "NTKERN", Function: "_ExpAllocatePool"},
+			{Module: "VFAT", Function: "_ReadWrite"},
+			{Module: "VWIN32", Function: "_Win16Mutex"},
+		},
+		MaskFrames: frameSet{
+			{Module: "VXD", Function: "_IOS_CritSection"},
+			{Module: "VMM", Function: "@KfRaiseIrqI"},
+			{Module: "ESDI_506", Function: "_DiskVxD"},
+		},
+
+		// The default Windows sound scheme: every dialog popup and walking
+		// menu traversal plays a sound through SYSAUDIO/KMIXER, allocating
+		// contiguous audio frames in the VMM at raised IRQL (Table 4).
+		SoundScheme: eventResponse{
+			DpcWork:  sim.LogNormal{Mu: 9.8, Sigma: 0.7, Cap: ms(1.2)},
+			LockProb: 0.35, Lock: mix(
+				sim.LogNormal{Mu: 10.9, Sigma: 0.8, Cap: ms(9)},
+				sim.Pareto{Xm: ms(8), Alpha: 1.6, Cap: ms(30)},
+				0.01),
+			MaskProb: 0.1, Mask: sim.LogNormal{Mu: 9.0, Sigma: 0.8, Cap: ms(1.0)},
+		},
+		SoundFrames: frameSet{
+			{Module: "SYSAUDIO", Function: "_ProcessTopologyConnection"},
+			{Module: "KMIXER", Function: ""},
+			{Module: "VMM", Function: "_mmCalcFrameBadness"},
+			{Module: "VMM", Function: "_mmFindContig"},
+			{Module: "NTKERN", Function: "_ExpAllocatePool"},
+		},
+
+		// The Plus! 98 virus scanner: file-operation hooks that hold the
+		// scheduler for ~16 ms scans. "With the virus scanner on we would
+		// expect a 16 millisecond thread latency about every 1000 waits"
+		// (§4.3) versus one in 165,000 without.
+		VirusScanner: eventResponse{
+			LockProb: 0.03, Lock: mix(
+				sim.LogNormal{Mu: 11.3, Sigma: 0.6, Cap: ms(12)},
+				sim.Uniform{Lo: ms(14), Hi: ms(22)},
+				0.25),
+		},
+		ScanFrames: frameSet{
+			{Module: "VSCAN", Function: "_OnFileOpen"},
+			{Module: "VSCAN", Function: "_ScanBuffer"},
+		},
+
+		DiskSeek:          sim.LogNormal{Mu: 14.4, Sigma: 0.5, Cap: ms(25)},
+		DiskBytesPerCycle: 0.055,
+	}
+	return p
+}
+
+// Win2000BetaProfile returns the Windows 2000 Beta personality — the §6.1
+// future-work target ("We have ... continue to monitor the performance of
+// Beta releases of Windows 2000").
+//
+// Windows 2000 keeps the NT architecture (same preemptible levels, same
+// work-item worker at real-time default priority) but as a Beta carries
+// more debug checking: slightly higher fixed costs, plus new subsystems
+// (WDM audio via KMixer everywhere, Plug and Play re-enumeration bursts)
+// that widen the DPC and lock tails relative to NT 4.0 while staying an
+// order of magnitude inside Windows 98's.
+func Win2000BetaProfile() *Profile {
+	p := NT4Profile()
+	p.OS = Win2000Beta
+	p.Name = "Windows 2000 Beta 2 (NT 5.0)"
+	p.Kernel.Name = p.Name
+	// Checked-build overheads: ~20-40% higher dispatch costs.
+	p.Kernel.IsrEntry = sim.Uniform{Lo: us(2), Hi: us(4)}
+	p.Kernel.DpcDispatch = sim.Uniform{Lo: us(2), Hi: us(4)}
+	p.Kernel.ContextSwitch = sim.LogNormal{Mu: 8.8, Sigma: 0.5, Cap: us(80)}
+	// WDM audio (KMixer) is now the default path: more DPC work per mix.
+	p.AudioMix.DpcWork = sim.LogNormal{Mu: 9.4, Sigma: 0.6, Cap: ms(0.8)}
+	// PnP re-enumeration: occasional longer masked windows on file/config
+	// activity than NT 4.0, still bounded well under a millisecond.
+	p.FileOp.MaskProb = 0.2
+	p.FileOp.Mask = sim.LogNormal{Mu: 7.4, Sigma: 0.9, Cap: us(350)}
+	// Heavier passive-work plumbing (the worker interference grows).
+	p.FileOp.WorkItemProb = 0.35
+	p.NetBurst.WorkItemProb = 0.45
+	p.LockFrames = frameSet{
+		{Module: "NTOSKRNL", Function: "_KiDispatcherLock"},
+		{Module: "NTFS", Function: "_NtfsCommonRead"},
+		{Module: "PNPMGR", Function: "_PipEnumerateDevice"},
+		{Module: "KMIXER", Function: "_MixBuffers"},
+	}
+	return p
+}
+
+// ProfileFor returns the personality for an OS.
+func ProfileFor(os OS) *Profile {
+	switch os {
+	case NT4:
+		return NT4Profile()
+	case Win98:
+		return Win98Profile()
+	case Win2000Beta:
+		return Win2000BetaProfile()
+	default:
+		panic("ospersona: unknown OS")
+	}
+}

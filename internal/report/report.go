@@ -1,0 +1,208 @@
+// Package report renders the experiment outputs in the shapes the paper
+// uses: log-log distribution series (Figure 4/5), the hourly/daily/weekly
+// worst-case table (Table 3), plain ASCII tables (Tables 1, 2), and CSV for
+// external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"wdmlat/internal/stats"
+)
+
+// Table is a simple ASCII table builder.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one labelled latency distribution rendered as Figure 4 points.
+type Series struct {
+	Label  string
+	Points []stats.Point
+}
+
+// NewSeries builds a series over the paper's axes from a histogram.
+func NewSeries(label string, h *stats.Histogram, loMs, hiMs float64) Series {
+	return Series{Label: label, Points: h.OctaveSeries(loMs, hiMs)}
+}
+
+// WriteLogLog renders a set of series as an ASCII log-log chart in the
+// style of Figure 4: x = latency bins (power-of-two milliseconds),
+// y = percent of samples, log scale down to 0.0001%.
+func WriteLogLog(w io.Writer, title string, series []Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-26s", "latency bin (ms)")
+	for _, p := range series[0].Points {
+		fmt.Fprintf(&b, " %8s", trimFloat(p.LoMs))
+	}
+	b.WriteByte('\n')
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-26s", s.Label)
+		for _, p := range s.Points {
+			if p.Count == 0 {
+				fmt.Fprintf(&b, " %8s", ".")
+				continue
+			}
+			fmt.Fprintf(&b, " %8s", formatPercent(p.Percent))
+		}
+		b.WriteByte('\n')
+	}
+	// The log-scale sparkline rows: one row per decade from 100% down to
+	// 0.0001%, marking which series has mass in which bin at that level.
+	b.WriteByte('\n')
+	decades := []float64{100, 10, 1, 0.1, 0.01, 0.001, 0.0001}
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %s\n", s.Label)
+		for _, d := range decades {
+			fmt.Fprintf(&b, "  %8s%% |", trimFloat(d))
+			for _, p := range s.Points {
+				if p.Count > 0 && p.Percent >= d {
+					b.WriteString(" ######## ")
+				} else if p.Count > 0 && p.Percent >= d/10 {
+					b.WriteString(" :::::::: ")
+				} else {
+					b.WriteString("          ")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the series as CSV: bin_lo_ms, then one percent column per
+// series, suitable for external log-log plotting.
+func WriteCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("bin_lo_ms")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s_pct,%s_ccdf_pct", csvName(s.Label), csvName(s.Label))
+	}
+	b.WriteByte('\n')
+	for i, p := range series[0].Points {
+		fmt.Fprintf(&b, "%g", p.LoMs)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, ",%.6g,%.6g", s.Points[i].Percent, s.Points[i].CCDFPercent)
+			} else {
+				b.WriteString(",,")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvName(s string) string {
+	s = strings.ToLower(s)
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+	return strings.Trim(s, "_")
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+// formatPercent renders a sample percentage across the 100%..0.0001% range
+// the paper's y-axes span.
+func formatPercent(p float64) string {
+	switch {
+	case p == 0:
+		return "."
+	case p >= 1:
+		return fmt.Sprintf("%.1f", p)
+	case p >= 0.0001:
+		return fmt.Sprintf("%.*f", decimalsFor(p), p)
+	default:
+		return "<1e-4"
+	}
+}
+
+func decimalsFor(p float64) int {
+	d := int(math.Ceil(-math.Log10(p))) + 1
+	if d < 1 {
+		d = 1
+	}
+	if d > 6 {
+		d = 6
+	}
+	return d
+}
+
+// Millis renders a millisecond value the way the paper's tables do: "+ 0.1"
+// deltas keep one decimal, values below 1 show "<1.0" style when rounded
+// away.
+func Millis(v float64) string {
+	if v < 0.05 {
+		return "<0.1"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

@@ -1,0 +1,130 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
+)
+
+func sampleHistogram() *stats.Histogram {
+	h := stats.NewHistogram(sim.DefaultFreq)
+	for i := 0; i < 900; i++ {
+		h.AddMillis(0.2)
+	}
+	for i := 0; i < 99; i++ {
+		h.AddMillis(3)
+	}
+	h.AddMillis(50)
+	return h
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table 1: Latency Tolerances",
+		Headers: []string{"Application", "Buffer (ms)", "Tolerance (ms)"},
+	}
+	tbl.AddRow("ADSL", "2 to 4", "4 to 10")
+	tbl.AddRow("RT video", "33 to 50", "33 to 100")
+	var b strings.Builder
+	if err := tbl.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1", "Application", "ADSL", "33 to 100", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5", len(lines))
+	}
+}
+
+func TestSeriesAndLogLog(t *testing.T) {
+	h := sampleHistogram()
+	s := NewSeries("Business Apps", h, 0.125, 128)
+	if len(s.Points) != 10 {
+		t.Fatalf("series has %d bins", len(s.Points))
+	}
+	var b strings.Builder
+	if err := WriteLogLog(&b, "Windows 98 Thread Latency", []Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Windows 98 Thread Latency") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "Business Apps") {
+		t.Fatal("missing series label")
+	}
+	if !strings.Contains(out, "0.0001") {
+		t.Fatal("missing deep-tail decade row (paper plots to 0.0001%)")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	h := sampleHistogram()
+	series := []Series{
+		NewSeries("NT 4.0", h, 0.125, 128),
+		NewSeries("Win 98", h, 0.125, 128),
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 11 { // header + 10 bins
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "bin_lo_ms,nt_4_0_pct,nt_4_0_ccdf_pct,win_98_pct") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.125,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 4 {
+			t.Fatalf("row %q has %d commas", l, got)
+		}
+	}
+}
+
+func TestFormatPercentRange(t *testing.T) {
+	cases := map[float64]string{
+		0:       ".",
+		42.1234: "42.1",
+		1.5:     "1.5",
+		0.01:    "0.010",
+		0.00001: "<1e-4",
+	}
+	for in, want := range cases {
+		if got := formatPercent(in); got != want {
+			t.Errorf("formatPercent(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMillisFormatting(t *testing.T) {
+	if Millis(0.04) != "<0.1" {
+		t.Fatalf("Millis(0.04) = %q", Millis(0.04))
+	}
+	if Millis(1.62) != "1.6" {
+		t.Fatalf("Millis(1.62) = %q", Millis(1.62))
+	}
+	if Millis(84.2) != "84.2" {
+		t.Fatalf("Millis(84.2) = %q", Millis(84.2))
+	}
+}
+
+func TestEmptySeriesSafe(t *testing.T) {
+	var b strings.Builder
+	if err := WriteLogLog(&b, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Engine is a discrete-event simulation driver: a virtual clock plus a
+// cancellable event queue. Events scheduled for the same instant fire in
+// FIFO order of scheduling, which keeps runs deterministic.
+//
+// Engine is not safe for concurrent use; the whole simulator is
+// single-threaded by design (see the kernel package for how simulated
+// threads are multiplexed onto it).
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nfired uint64
+	rng    *RNG
+}
+
+// ErrHalted is returned by Run when Halt was called from inside an event.
+var ErrHalted = errors.New("sim: engine halted")
+
+// NewEngine returns an engine at time zero with a deterministic RNG seeded
+// from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's random number generator. All stochastic behaviour
+// in a simulation should derive from this generator so that runs are
+// reproducible from the engine seed.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Fired returns the total number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.nfired }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (before
+// Now) panics: it would silently reorder causality. The label is retained
+// for debugging and tracing.
+func (e *Engine) At(t Time, label string, fn func(Time)) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %d before now %d", label, t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now. Negative delays panic.
+func (e *Engine) After(d Cycles, label string, fn func(Time)) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d for %q", d, label))
+	}
+	return e.At(e.now.Add(d), label, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired or was already cancelled is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving its
+// callback. If the event is not pending it is re-armed as a fresh event.
+func (e *Engine) Reschedule(ev *Event, t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling %q at %d before now %d", ev.label, t, e.now))
+	}
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	if ev.index >= 0 {
+		heap.Fix(&e.queue, ev.index)
+		return
+	}
+	heap.Push(&e.queue, ev)
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.when < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	e.now = ev.when
+	e.nfired++
+	ev.fn(e.now)
+	return true
+}
+
+// RunUntil fires events in timestamp order until the clock reaches t (events
+// at exactly t do fire) or the queue drains. The clock is left at t or at
+// the time of the last fired event, whichever is later.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 && e.queue[0].when <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d cycles (see RunUntil).
+func (e *Engine) RunFor(d Cycles) { e.RunUntil(e.now.Add(d)) }
+
+// Drain fires every pending event. It is mainly useful in tests; real
+// simulations have periodic sources and never drain. The limit guards
+// against runaway self-rescheduling loops: Drain panics after firing limit
+// events if the queue is still non-empty.
+func (e *Engine) Drain(limit int) {
+	for i := 0; len(e.queue) > 0; i++ {
+		if i >= limit {
+			panic(fmt.Sprintf("sim: Drain exceeded %d events", limit))
+		}
+		e.Step()
+	}
+}

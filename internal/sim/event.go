@@ -1,0 +1,64 @@
+package sim
+
+// Event is a scheduled callback in the simulation. Events are created with
+// Engine.At or Engine.After and may be cancelled before they fire. The zero
+// Event is not usable.
+type Event struct {
+	when  Time
+	seq   uint64 // tie-break: FIFO among events with equal timestamps
+	index int    // heap index, -1 when not queued
+	fn    func(Time)
+	label string
+}
+
+// When returns the virtual time at which the event is (or was) scheduled to
+// fire.
+func (e *Event) When() Time { return e.when }
+
+// Pending reports whether the event is still in the queue (scheduled and
+// neither fired nor cancelled).
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// Label returns the debugging label attached at scheduling time.
+func (e *Event) Label() string {
+	if e == nil {
+		return ""
+	}
+	return e.label
+}
+
+// eventHeap is a binary min-heap of events ordered by (when, seq). It
+// implements container/heap.Interface but is manipulated directly by Engine
+// so that events can carry their own heap indices for O(log n) cancellation.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,132 @@
+package sim
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator
+// (xoshiro256** seeded via splitmix64). It is small, fast, has no global
+// state, and produces an identical stream on every platform, which keeps
+// whole-simulation runs reproducible from a single seed.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed. Any seed value, including
+// zero, is valid.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed reinitializes the generator state from seed using splitmix64, as
+// recommended by the xoshiro authors.
+func (r *RNG) Seed(seed uint64) {
+	x := seed
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	// xoshiro256** must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new generator whose stream is independent of r's future
+// output. It is used to give each subsystem (scheduler noise, each workload,
+// each device) its own stream so that adding one subsystem does not perturb
+// the randomness seen by another.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Cyclesn returns a uniform Cycles value in [0, n). It panics if n <= 0.
+func (r *RNG) Cyclesn(n Cycles) Cycles {
+	return Cycles(r.Int63n(int64(n)))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation (Box–Muller).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNorm returns a log-normally distributed value parameterized by the mu
+// and sigma of the underlying normal.
+func (r *RNG) LogNorm(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Pareto returns a Pareto(xm, alpha) distributed value: xm scale (minimum),
+// alpha shape. Small alpha gives heavy tails; the Win98 latency tail in the
+// paper is distinctly heavy-tailed (Figure 4 is presented log-log for this
+// reason).
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(1-u, 1/alpha)
+}

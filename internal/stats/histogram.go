@@ -1,0 +1,217 @@
+// Package stats implements the statistical machinery of the paper's
+// methodology: latency distributions kept as log-scale histograms (Figure 4
+// is plotted log-log precisely because the distributions are "highly
+// nonsymmetric, with a very long tail on one side", §4.2), complementary
+// distributions, tail-event rates, and the expected worst case over an
+// observation horizon (the hourly/daily/weekly columns of Table 3).
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"wdmlat/internal/sim"
+)
+
+// Histogram bucket geometry: logarithmic buckets, bucketsPerOctave per
+// doubling, spanning [minValue, minValue<<octaves). At 16 buckets per
+// octave the relative resolution is ~4.4%, ample for order-of-magnitude
+// latency comparisons while keeping memory constant regardless of sample
+// count.
+const (
+	bucketsPerOctave = 16
+	octaves          = 40 // covers [1, 2^40) cycles ≈ up to ~1 hour at 300 MHz
+	numBuckets       = bucketsPerOctave * octaves
+)
+
+// Histogram is a fixed-memory log-scale histogram of non-negative cycle
+// counts. The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	freq     sim.Freq
+	counts   [numBuckets + 2]uint64 // +underflow (index 0 handles <1), +overflow
+	n        uint64
+	sum      float64
+	sumsq    float64
+	min, max sim.Cycles
+}
+
+// NewHistogram creates an empty histogram that formats values at the given
+// clock frequency.
+func NewHistogram(freq sim.Freq) *Histogram {
+	if freq <= 0 {
+		panic("stats: non-positive frequency")
+	}
+	return &Histogram{freq: freq, min: math.MaxInt64, max: -1}
+}
+
+// Freq returns the histogram's clock frequency.
+func (h *Histogram) Freq() sim.Freq { return h.freq }
+
+// bucketIndex maps a value to its bucket. Values < 1 go to the underflow
+// bucket 0; values beyond the top octave go to the overflow bucket.
+func bucketIndex(v sim.Cycles) int {
+	if v < 1 {
+		return 0
+	}
+	lg := math.Log2(float64(v))
+	i := 1 + int(lg*bucketsPerOctave)
+	if i > numBuckets {
+		return numBuckets + 1
+	}
+	return i
+}
+
+// bucketLow returns the inclusive lower edge of bucket i in cycles. The
+// ceiling keeps integer values inside their bucket's half-open interval
+// even in the lowest octaves where edges would otherwise truncate together.
+func bucketLow(i int) sim.Cycles {
+	if i <= 0 {
+		return 0
+	}
+	if i > numBuckets {
+		i = numBuckets + 1
+	}
+	return sim.Cycles(math.Ceil(math.Exp2(float64(i-1) / bucketsPerOctave)))
+}
+
+// Add records one latency sample. Negative samples panic: a latency cannot
+// be negative, and silently clamping would hide measurement bugs.
+func (h *Histogram) Add(v sim.Cycles) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative latency sample %d", v))
+	}
+	h.counts[bucketIndex(v)]++
+	h.n++
+	f := float64(v)
+	h.sum += f
+	h.sumsq += f * f
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// AddMillis records a sample given in milliseconds.
+func (h *Histogram) AddMillis(ms float64) {
+	h.Add(h.freq.FromMillis(ms))
+}
+
+// N returns the sample count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() sim.Cycles {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 if empty).
+func (h *Histogram) Max() sim.Cycles {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the sample mean in cycles.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// StdDev returns the sample standard deviation in cycles.
+func (h *Histogram) StdDev() float64 {
+	if h.n < 2 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sumsq/float64(h.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// MaxMillis returns the largest sample in milliseconds.
+func (h *Histogram) MaxMillis() float64 { return h.freq.Millis(h.Max()) }
+
+// MeanMillis returns the mean in milliseconds.
+func (h *Histogram) MeanMillis() float64 {
+	return h.Mean() / float64(h.freq) * 1e3
+}
+
+// CountAtLeast returns the number of samples in buckets whose lower edge is
+// >= v (i.e., samples guaranteed to be >= the bucket floor containing v;
+// the count is taken from the bucket containing v upward, which
+// slightly over-counts by at most one bucket width — conservative in the
+// direction the worst-case analysis wants).
+func (h *Histogram) CountAtLeast(v sim.Cycles) uint64 {
+	var c uint64
+	for i := bucketIndex(v); i < len(h.counts); i++ {
+		c += h.counts[i]
+	}
+	return c
+}
+
+// CCDF returns the fraction of samples >= v (bucket-resolution), in [0,1].
+func (h *Histogram) CCDF(v sim.Cycles) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.CountAtLeast(v)) / float64(h.n)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) at bucket resolution.
+func (h *Histogram) Quantile(q float64) sim.Cycles {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.n))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum > target {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's samples into h. The frequencies must match.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.freq != other.freq {
+		panic("stats: merging histograms with different frequencies")
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.n += other.n
+	h.sum += other.sum
+	h.sumsq += other.sumsq
+	if other.n > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	cp := *h
+	return &cp
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"time"
+
+	"wdmlat/internal/sim"
+)
+
+// RateAbove returns the observed rate (events per cycle) of samples >= v,
+// given the virtual observation span over which the histogram was
+// collected.
+func (h *Histogram) RateAbove(v sim.Cycles, observed sim.Cycles) float64 {
+	if observed <= 0 {
+		return 0
+	}
+	return float64(h.CountAtLeast(v)) / float64(observed)
+}
+
+// ExpectedMaxOver estimates the expected worst-case latency over a horizon
+// of `window` cycles, from a distribution observed over `observed` cycles.
+//
+// This is the paper's extrapolation (§4.3/§4.4 assume "long latencies are
+// uniformly distributed over time"): tail events of magnitude >= L arrive
+// as a Poisson process at the observed rate, so over a window the maximum
+// exceeds L with probability 1-exp(-rate(>=L)·window), and the expected
+// maximum is the integral of that exceedance probability:
+//
+//	E[max] = ∫ P(max >= x) dx ≈ Σ_buckets width(b) · (1 - e^{-λ(lo(b))}).
+//
+// For windows at or beyond the observation span the estimate is clamped at
+// the observed maximum — the distribution's support is all the data can
+// testify to, so daily/weekly figures from shorter runs are conservative.
+func (h *Histogram) ExpectedMaxOver(window, observed sim.Cycles) sim.Cycles {
+	if h.n == 0 || window <= 0 || observed <= 0 {
+		return 0
+	}
+	if window >= observed {
+		return h.Max()
+	}
+	scale := float64(window) / float64(observed)
+	iMax := bucketIndex(h.max)
+
+	// Cumulative counts at-or-above each bucket's lower edge.
+	lam := make([]float64, iMax+1)
+	var cum uint64
+	for i := iMax; i >= 0; i-- {
+		cum += h.counts[i]
+		lam[i] = float64(cum) * scale
+	}
+
+	var expected float64
+	for i := 0; i <= iMax; i++ {
+		lo, hi := bucketLow(i), bucketLow(i+1)
+		if hi > h.max {
+			hi = h.max // the support ends at the observed maximum
+		}
+		if hi <= lo {
+			continue
+		}
+		expected += float64(hi-lo) * (1 - math.Exp(-lam[i]))
+	}
+	if m := float64(h.max); expected > m {
+		expected = m
+	}
+	return sim.Cycles(expected)
+}
+
+// Horizon describes an observation horizon from the paper's usage model
+// (§4.3): a "day" is hours of actual use, a "week" is days of days.
+type Horizon struct {
+	Name  string
+	Spans time.Duration // cumulative active use
+}
+
+// UsageModel is a workload category's heavy-use pattern, used to convert
+// the hourly/daily/weekly columns of Table 3 into active-use horizons.
+type UsageModel struct {
+	// HoursPerDay of active use and DaysPerWeek of use.
+	HoursPerDay  float64
+	DaysPerWeek  float64
+	CategoryName string
+}
+
+// Horizons returns the three Table 3 horizons for this usage model.
+func (u UsageModel) Horizons() [3]Horizon {
+	day := time.Duration(u.HoursPerDay * float64(time.Hour))
+	week := time.Duration(u.DaysPerWeek * float64(day))
+	return [3]Horizon{
+		{Name: "Max Per Hr", Spans: time.Hour},
+		{Name: "Max Per Day", Spans: day},
+		{Name: "Max Per Wk", Spans: week},
+	}
+}
+
+// Office/Workstation/Consumer usage models from §3.1: office and
+// workstation "days" are 6–8 working hours, five days a week; games and web
+// are 3–4 hours a day, seven days a week.
+var (
+	OfficeUsage      = UsageModel{HoursPerDay: 8, DaysPerWeek: 5, CategoryName: "office"}
+	WorkstationUsage = UsageModel{HoursPerDay: 6, DaysPerWeek: 5, CategoryName: "workstation"}
+	ConsumerUsage    = UsageModel{HoursPerDay: 3.5, DaysPerWeek: 7, CategoryName: "consumer"}
+)
+
+// WorstCases computes the Table 3 row for a measured distribution: the
+// expected worst case per hour, per day and per week of active use, in
+// milliseconds.
+func (h *Histogram) WorstCases(observed sim.Cycles, usage UsageModel) [3]float64 {
+	var out [3]float64
+	for i, hz := range usage.Horizons() {
+		w := h.freq.Cycles(hz.Spans)
+		out[i] = h.freq.Millis(h.ExpectedMaxOver(w, observed))
+	}
+	return out
+}

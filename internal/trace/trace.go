@@ -1,0 +1,191 @@
+// Package trace is an ETW-style kernel event tracer for the simulated
+// machine: it subscribes to the kernel's instrumentation hooks and records
+// typed scheduling events (interrupt assertion/ISR entry, DPC queue/start,
+// thread ready/dispatch) into a bounded ring. It is the debugging
+// counterpart to the cause tool: where causetool samples *what* is on-CPU,
+// the tracer records *why* the CPU changed hands.
+//
+// The tracer is non-invasive (it observes the simulator's ground-truth
+// hooks, consuming no simulated cycles), so it is a tool for studying the
+// machine, not a model of a 1998 profiler.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"wdmlat/internal/kernel"
+	"wdmlat/internal/sim"
+)
+
+// Kind is the event type.
+type Kind int
+
+// Event kinds.
+const (
+	InterruptAsserted Kind = iota
+	IsrEntered
+	DpcQueued
+	DpcStarted
+	ThreadReadied
+	ThreadDispatched
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case InterruptAsserted:
+		return "irq-assert"
+	case IsrEntered:
+		return "isr-enter"
+	case DpcQueued:
+		return "dpc-queue"
+	case DpcStarted:
+		return "dpc-start"
+	case ThreadReadied:
+		return "thread-ready"
+	case ThreadDispatched:
+		return "thread-dispatch"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded kernel event.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	// Vector for interrupt events; -1 otherwise.
+	Vector int
+	// Name is the DPC or thread name, if any.
+	Name string
+	// Lag is the assertion→entry, queue→start or ready→dispatch delay for
+	// the *Entered/*Started/*Dispatched kinds.
+	Lag sim.Cycles
+}
+
+// Tracer records kernel events into a bounded ring.
+type Tracer struct {
+	k      *kernel.Kernel
+	ring   []Event
+	head   int
+	filled bool
+	total  uint64
+	// filter, when non-nil, drops events for which it returns false.
+	filter func(Event) bool
+}
+
+// Attach subscribes a tracer to a kernel. It replaces any previously-set
+// kernel hooks (the kernel supports one hook consumer; use the tracer's
+// Chain option to multiplex if needed).
+func Attach(k *kernel.Kernel, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	t := &Tracer{k: k, ring: make([]Event, capacity)}
+	k.SetHooks(kernel.Hooks{
+		InterruptAsserted: func(vector int, at sim.Time) {
+			t.add(Event{At: at, Kind: InterruptAsserted, Vector: vector, Name: ""})
+		},
+		IsrEntered: func(vector int, asserted, entered sim.Time) {
+			t.add(Event{At: entered, Kind: IsrEntered, Vector: vector, Lag: entered.Sub(asserted)})
+		},
+		DpcQueued: func(d *kernel.DPC, at sim.Time) {
+			t.add(Event{At: at, Kind: DpcQueued, Vector: -1, Name: d.Name})
+		},
+		DpcStarted: func(d *kernel.DPC, queuedAt, started sim.Time) {
+			t.add(Event{At: started, Kind: DpcStarted, Vector: -1, Name: d.Name, Lag: started.Sub(queuedAt)})
+		},
+		ThreadReadied: func(th *kernel.Thread, at sim.Time) {
+			t.add(Event{At: at, Kind: ThreadReadied, Vector: -1, Name: th.Name})
+		},
+		ThreadDispatched: func(th *kernel.Thread, readiedAt, at sim.Time) {
+			t.add(Event{At: at, Kind: ThreadDispatched, Vector: -1, Name: th.Name, Lag: at.Sub(readiedAt)})
+		},
+	})
+	return t
+}
+
+// SetFilter installs a predicate; events failing it are not recorded.
+func (t *Tracer) SetFilter(f func(Event) bool) { t.filter = f }
+
+// Detach unsubscribes from the kernel.
+func (t *Tracer) Detach() { t.k.SetHooks(kernel.Hooks{}) }
+
+func (t *Tracer) add(e Event) {
+	t.total++
+	if t.filter != nil && !t.filter(e) {
+		return
+	}
+	t.ring[t.head] = e
+	t.head = (t.head + 1) % len(t.ring)
+	if t.head == 0 {
+		t.filled = true
+	}
+}
+
+// Total returns the number of events observed (recorded or filtered).
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if !t.filled {
+		out := make([]Event, t.head)
+		copy(out, t.ring[:t.head])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.head:]...)
+	out = append(out, t.ring[:t.head]...)
+	return out
+}
+
+// Between returns retained events with At in [from, to].
+func (t *Tracer) Between(from, to sim.Time) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.At >= from && e.At <= to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WorstLag returns the retained event of the given kind with the largest
+// lag, and whether any was found.
+func (t *Tracer) WorstLag(kind Kind) (Event, bool) {
+	var best Event
+	found := false
+	for _, e := range t.Events() {
+		if e.Kind != kind {
+			continue
+		}
+		if !found || e.Lag > best.Lag {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Dump writes the retained events, one per line, with millisecond
+// timestamps at the given frequency.
+func (t *Tracer) Dump(w io.Writer, freq sim.Freq) error {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "%12.4f ms  %-16s", freq.Millis(sim.Cycles(e.At)), e.Kind)
+		if e.Vector >= 0 {
+			fmt.Fprintf(&b, " vec=%d", e.Vector)
+		}
+		if e.Name != "" {
+			fmt.Fprintf(&b, " %s", e.Name)
+		}
+		if e.Lag > 0 {
+			fmt.Fprintf(&b, " (lag %.4f ms)", freq.Millis(e.Lag))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

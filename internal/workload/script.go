@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/sim"
+)
+
+// WinstoneScript returns a fixed, deterministic operation sequence modeling
+// one pass of a Business Winstone-style benchmark: typed input, document
+// compute, reads, and save bursts. Being identical across machines, it is
+// the workload for the §4.2 throughput comparison ("the average delta
+// between like scores was 10% and the maximum delta was 20%").
+func WinstoneScript(m *ospersona.Machine, units int) []ospersona.Op {
+	if units <= 0 {
+		panic("workload: non-positive script units")
+	}
+	var ops []ospersona.Op
+	for i := 0; i < units; i++ {
+		// One "user action" block: input, app work, I/O.
+		ops = append(ops,
+			ospersona.Op{UI: true, Compute: m.MS(2)},
+			ospersona.Op{Compute: m.MS(8)},
+			ospersona.Op{ReadBytes: 24 * 1024},
+			ospersona.Op{UI: true, Compute: m.MS(1)},
+		)
+		if i%5 == 4 {
+			ops = append(ops, ospersona.Op{WriteBytes: 96 * 1024}) // save
+		}
+		if i%20 == 19 {
+			// "save as": read + rewrite the document.
+			ops = append(ops,
+				ospersona.Op{ReadBytes: 256 * 1024},
+				ospersona.Op{WriteBytes: 256 * 1024},
+			)
+		}
+	}
+	return ops
+}
+
+// RunThroughput executes the deterministic Winstone script on a machine and
+// returns the virtual time it took — the macrobenchmark "score" whose
+// near-equality across the two OSes the paper contrasts with their
+// order-of-magnitude latency differences.
+func RunThroughput(m *ospersona.Machine, units int) sim.Cycles {
+	app := m.NewApp("winstone")
+	ops := WinstoneScript(m, units)
+	start := m.Now()
+	app.Submit(ops...)
+	deadline := start.Add(sim.Cycles(len(ops)) * m.MS(2000))
+	for app.Done() < uint64(len(ops)) {
+		if m.Now() > deadline {
+			panic(fmt.Sprintf("workload: throughput script stalled at %d/%d ops", app.Done(), len(ops)))
+		}
+		m.RunFor(m.MS(50))
+	}
+	return m.Now().Sub(start)
+}

@@ -1,0 +1,184 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/workload"
+)
+
+func build(t *testing.T, os ospersona.OS, seed uint64) *ospersona.Machine {
+	t.Helper()
+	m := ospersona.Build(os, ospersona.Options{Seed: seed})
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+func TestClassMetadata(t *testing.T) {
+	if len(workload.Classes) != 4 {
+		t.Fatalf("classes = %v", workload.Classes)
+	}
+	names := map[workload.Class]string{
+		workload.Business:    "Business Apps",
+		workload.Workstation: "Workstation Apps",
+		workload.Games:       "3D Games",
+		workload.Web:         "Web Browsing",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", int(c), c.String())
+		}
+	}
+	// §3.1 compression factors.
+	comp := map[workload.Class]float64{
+		workload.Business:    10,
+		workload.Workstation: 5,
+		workload.Games:       1,
+		workload.Web:         4,
+	}
+	for c, want := range comp {
+		if c.TimeCompression() != want {
+			t.Errorf("%v compression = %v, want %v", c, c.TimeCompression(), want)
+		}
+	}
+	// Usage models map to the right categories.
+	if workload.Business.Usage().CategoryName != "office" {
+		t.Error("business should use the office usage model")
+	}
+	if workload.Games.Usage().CategoryName != "consumer" {
+		t.Error("games should use the consumer usage model")
+	}
+}
+
+func TestEachClassGeneratesItsSignatureActivity(t *testing.T) {
+	type counts struct{ files, ui, net, frames, pf uint64 }
+	run := func(c workload.Class) counts {
+		m := build(t, ospersona.Win98, 5)
+		g := workload.New(c, m)
+		g.Start()
+		m.RunFor(m.Freq().Cycles(10 * time.Second))
+		var out counts
+		out.files, out.ui, out.net, out.frames, out.pf = m.Counters()
+		return out
+	}
+
+	biz := run(workload.Business)
+	if biz.ui < 500 {
+		t.Fatalf("business UI events = %d, want dense MS-Test input", biz.ui)
+	}
+	if biz.files < 50 {
+		t.Fatalf("business file ops = %d", biz.files)
+	}
+	if biz.net != 0 || biz.frames != 0 {
+		t.Fatalf("business should not browse or render frames: %+v", biz)
+	}
+
+	wks := run(workload.Workstation)
+	if wks.pf < 10 {
+		t.Fatalf("workstation page faults = %d, want paging pressure", wks.pf)
+	}
+	if wks.ui > biz.ui/3 {
+		t.Fatalf("workstation UI (%d) should be far sparser than business (%d)", wks.ui, biz.ui)
+	}
+
+	games := run(workload.Games)
+	if games.frames < 200 {
+		t.Fatalf("games frames = %d, want ~30 fps", games.frames)
+	}
+
+	web := run(workload.Web)
+	if web.net < 10 {
+		t.Fatalf("web net bursts = %d", web.net)
+	}
+}
+
+func TestStopHaltsActivity(t *testing.T) {
+	m := build(t, ospersona.NT4, 1)
+	g := workload.New(workload.Business, m)
+	g.Start()
+	m.RunFor(m.Freq().Cycles(5 * time.Second))
+	g.Stop()
+	f1, u1, _, _, _ := m.Counters()
+	m.RunFor(m.Freq().Cycles(5 * time.Second))
+	f2, u2, _, _, _ := m.Counters()
+	// In-flight app ops may drain, but the generator loops must stop.
+	if u2 != u1 {
+		t.Fatalf("UI events kept flowing after Stop: %d -> %d", u1, u2)
+	}
+	if f2 > f1+20 {
+		t.Fatalf("file ops kept flowing after Stop: %d -> %d", f1, f2)
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	m := build(t, ospersona.NT4, 1)
+	g := workload.New(workload.Business, m)
+	g.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start should panic")
+		}
+	}()
+	g.Start()
+}
+
+func TestGamesKeepAudioPlaying(t *testing.T) {
+	m := build(t, ospersona.NT4, 1)
+	g := workload.New(workload.Games, m)
+	g.Start()
+	m.RunFor(m.Freq().Cycles(5 * time.Second))
+	if !m.Sound.Playing() {
+		t.Fatal("games should keep the audio pipeline running")
+	}
+	if m.Sound.Periods() < 200 {
+		t.Fatalf("audio periods = %d", m.Sound.Periods())
+	}
+}
+
+func TestWinstoneScriptDeterministic(t *testing.T) {
+	m := build(t, ospersona.NT4, 1)
+	a := workload.WinstoneScript(m, 10)
+	b := workload.WinstoneScript(m, 10)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("script lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("script not deterministic at op %d", i)
+		}
+	}
+	// 10 units: 40 base ops + 2 saves + 0 save-as.
+	if len(a) != 42 {
+		t.Fatalf("script has %d ops, want 42", len(a))
+	}
+}
+
+func TestRunThroughputCompletes(t *testing.T) {
+	m := build(t, ospersona.NT4, 3)
+	d := workload.RunThroughput(m, 20)
+	if d <= 0 {
+		t.Fatalf("duration = %d", d)
+	}
+	// 20 units of ~11 ms compute + I/O should take roughly 0.3-3 s.
+	sec := m.Freq().Duration(d).Seconds()
+	if sec < 0.05 || sec > 10 {
+		t.Fatalf("throughput run took %v s", sec)
+	}
+}
+
+func TestThroughputSimilarAcrossOSes(t *testing.T) {
+	// §4.2: the macrobenchmark deltas are ~10% average, 20% max — the
+	// throughput view cannot tell the two OSes apart.
+	nt := build(t, ospersona.NT4, 11)
+	w98 := build(t, ospersona.Win98, 11)
+	dn := nt.Freq().Duration(workload.RunThroughput(nt, 60)).Seconds()
+	dw := w98.Freq().Duration(workload.RunThroughput(w98, 60)).Seconds()
+	ratio := dn / dw
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if ratio > 1.25 {
+		t.Fatalf("throughput differs %.0f%% between OSes; the paper bounds it ~10-20%%", (ratio-1)*100)
+	}
+}
