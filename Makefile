@@ -1,0 +1,37 @@
+# Developer entry points. `make check` is the full gate: vet, build, tests
+# with the race detector (the campaign worker pool now runs simulations —
+# each with its own kernel thread goroutines — concurrently, so races are a
+# first-class failure mode, not a theoretical one).
+
+GO ?= go
+
+.PHONY: all check vet build test race smoke reproduce clean
+
+all: check
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# smoke: a fast end-to-end pass of the full reproduction pipeline on the
+# parallel campaign runner. Artifacts land in a scratch directory (not
+# results/, which holds the full-length record).
+smoke:
+	$(GO) run ./cmd/reproduce -duration 5s -jobs 4 -outdir results-smoke
+
+# reproduce: regenerate the checked-in full-length experimental record.
+reproduce:
+	$(GO) run ./cmd/reproduce
+
+clean:
+	rm -rf results-smoke

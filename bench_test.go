@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"wdmlat/internal/campaign"
 	"wdmlat/internal/core"
 	"wdmlat/internal/cpu"
 	"wdmlat/internal/interactive"
@@ -401,4 +402,25 @@ func BenchmarkSec12Baselines(b *testing.B) {
 	b.ReportMetric(ctxNT, "nt-ctxswitch-us")
 	b.ReportMetric(ctxW98, "w98-ctxswitch-us")
 	b.ReportMetric(within*100, "interactive-within-150ms-pct")
+}
+
+// BenchmarkCampaignMatrix runs the full Figure 4 measurement matrix (2 OSes
+// × 4 workloads) through the parallel campaign runner at GOMAXPROCS
+// workers — the cell fan-out cmd/reproduce uses — and reports aggregate
+// throughput. Results are byte-identical to a serial run by construction.
+func BenchmarkCampaignMatrix(b *testing.B) {
+	oses := []ospersona.OS{ospersona.NT4, ospersona.Win98}
+	var samples uint64
+	for i := 0; i < b.N; i++ {
+		run := campaign.New(campaign.Options{BaseSeed: uint64(i + 1)})
+		byOS := run.RunMatrix(oses, workload.Classes, "bench",
+			core.RunConfig{Duration: benchDur}, 1)
+		samples = 0
+		for _, byClass := range byOS {
+			for _, r := range byClass {
+				samples += r.Samples
+			}
+		}
+	}
+	b.ReportMetric(float64(samples), "matrix-samples")
 }

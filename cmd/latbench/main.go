@@ -14,14 +14,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"wdmlat/internal/campaign"
 	"wdmlat/internal/cli"
 	"wdmlat/internal/core"
 	"wdmlat/internal/figures"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/report"
-	"wdmlat/internal/workload"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV series instead of ASCII charts")
 	config := flag.Bool("config", false, "print the Table 2 system configurations and exit")
 	runs := flag.Int("runs", 1, "independent replicas to pool per cell (deepens tails)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	oracle := flag.Bool("oracle", false, "plot ground-truth DPC-interrupt latency instead of the tool's estimate")
 	flag.Parse()
 
@@ -47,20 +49,25 @@ func main() {
 	classes, err := cli.ParseWorkloadList(*wlFlag)
 	fatal(err)
 
+	// Variant names the campaign cell keys so that e.g. the -scanner cells
+	// draw seed streams independent of the headline cells.
+	variant := "default"
+	if *scanner {
+		variant = "scanner"
+	}
+	if *sound {
+		variant += "+sound"
+	}
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
+	base := core.RunConfig{Duration: *duration, VirusScanner: *scanner, SoundScheme: *sound}
+	byOS := run.RunMatrix(oses, classes, variant, base, *runs)
+
 	for _, osSel := range oses {
 		// One Figure 4 panel set per OS: DPC-interrupt latency plus the
 		// two thread latencies, one series per workload.
-		results := make(map[workload.Class]*core.Result)
+		results := byOS[osSel]
 		for _, wl := range classes {
-			r := core.RunMerged(core.RunConfig{
-				OS:           osSel,
-				Workload:     wl,
-				Duration:     *duration,
-				Seed:         *seed,
-				VirusScanner: *scanner,
-				SoundScheme:  *sound,
-			}, *runs)
-			results[wl] = r
+			r := results[wl]
 			label := wl.String()
 
 			fmt.Printf("# %s / %s: %d samples over %v virtual",

@@ -10,8 +10,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"wdmlat/internal/campaign"
 	"wdmlat/internal/cli"
 	"wdmlat/internal/core"
 	"wdmlat/internal/figures"
@@ -31,6 +33,8 @@ func main() {
 	maxBuf := flag.Int("maxbuffers", 17, "largest buffer count to sweep")
 	duration := flag.Duration("duration", 15*time.Minute, "virtual collection time per workload")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	runs := flag.Int("runs", 1, "independent replicas to pool per workload (deepens tails)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	validate := flag.Bool("validate", false, "cross-check one point per class against direct datapump simulation")
 	flag.Parse()
 
@@ -55,9 +59,15 @@ func main() {
 		fig, modality, name)
 	fmt.Printf("(t = %.0f ms cycles, compute 25%% of cycle, collection %v per class)\n\n", *cycle, *duration)
 
+	// The per-class measurement cells are independent: fan them out across
+	// the campaign pool, then sweep the analytic curves in class order.
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
+	byOS := run.RunMatrix([]ospersona.OS{osSel}, workload.Classes, "mttf",
+		core.RunConfig{Duration: *duration}, *runs)
+
 	curves := make(map[workload.Class][]mttf.Point)
 	for _, wl := range workload.Classes {
-		r := core.Run(core.RunConfig{OS: osSel, Workload: wl, Duration: *duration, Seed: *seed})
+		r := byOS[osSel][wl]
 		h := pickDistribution(r, modality)
 		pts := mttf.Sweep(h, r.UsageObserved(), *cycle, 0.25, *maxBuf)
 		curves[wl] = pts

@@ -11,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"wdmlat/internal/campaign"
 	"wdmlat/internal/core"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/report"
@@ -23,6 +25,7 @@ func main() {
 	wlFlag := flag.String("workload", "business", "stress class")
 	duration := flag.Duration("duration", 3*time.Minute, "virtual collection per priority")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	flag.Parse()
 
 	wl := workload.Business
@@ -40,6 +43,26 @@ func main() {
 	}
 
 	prios := []int{17, 19, 21, 23, 24, 25, 27, 29, 31}
+	oses := []ospersona.OS{ospersona.NT4, ospersona.Win98}
+
+	// Every (priority, OS) point is an independent cell: submit the whole
+	// sweep up front and collect in print order.
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
+	key := func(osSel ospersona.OS, p int) string {
+		return campaign.MatrixKey(osSel, wl, fmt.Sprintf("prio-%d", p))
+	}
+	for _, p := range prios {
+		for _, osSel := range oses {
+			run.Submit(campaign.Cell{Key: campaign.ReplicaKey(key(osSel, p), 0), Config: core.RunConfig{
+				OS:             osSel,
+				Workload:       wl,
+				Duration:       *duration,
+				HighPriority:   p,
+				MediumPriority: p - 1,
+			}})
+		}
+	}
+
 	t := &report.Table{
 		Title: fmt.Sprintf("Thread latency vs real-time priority under %v (worst case, ms)\n"+
 			"(the WDM work-item worker runs at priority 24 — §4.2)", wl),
@@ -47,15 +70,8 @@ func main() {
 	}
 	for _, p := range prios {
 		row := []string{fmt.Sprintf("%d", p)}
-		for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
-			r := core.Run(core.RunConfig{
-				OS:             osSel,
-				Workload:       wl,
-				Duration:       *duration,
-				Seed:           *seed,
-				HighPriority:   p,
-				MediumPriority: p - 1,
-			})
+		for _, osSel := range oses {
+			r := run.Merged(key(osSel, p), 1)
 			h := r.Thread[p]
 			row = append(row,
 				fmt.Sprintf("%.2f", r.Freq.Millis(h.Max())),

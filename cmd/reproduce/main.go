@@ -1,7 +1,14 @@
 // reproduce regenerates the full experimental record of EXPERIMENTS.md in
 // one invocation: every table and figure, the §4.2/§5.2/§1.2 analyses, and
 // the ablations, written as text artifacts under -outdir (default
-// ./results). Runs are deterministic for a given -seed.
+// ./results).
+//
+// The measurement campaign fans out across -jobs workers (default
+// GOMAXPROCS): every simulation cell is submitted to the campaign pool up
+// front and each artifact is emitted as soon as the cells it depends on
+// complete. Runs are deterministic for a given -seed, and because per-cell
+// seeds are derived from the cell key (never from scheduling order), the
+// artifacts are byte-identical for every -jobs value.
 package main
 
 import (
@@ -10,24 +17,31 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"time"
 
+	"wdmlat/internal/campaign"
 	"wdmlat/internal/core"
 	"wdmlat/internal/figures"
 	"wdmlat/internal/interactive"
 	"wdmlat/internal/microbench"
 	"wdmlat/internal/mttf"
 	"wdmlat/internal/ospersona"
+	"wdmlat/internal/par"
 	"wdmlat/internal/report"
 	"wdmlat/internal/rma"
 	"wdmlat/internal/workload"
 )
+
+var oses = []ospersona.OS{ospersona.NT4, ospersona.Win98}
 
 func main() {
 	duration := flag.Duration("duration", 15*time.Minute, "virtual collection per cell")
 	seed := flag.Uint64("seed", 3, "simulation seed")
 	outdir := flag.String("outdir", "results", "artifact directory")
 	runs := flag.Int("runs", 1, "replicas pooled per cell")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -35,12 +49,56 @@ func main() {
 	}
 	start := time.Now()
 
+	// --- Submit the whole campaign up front ---------------------------------
+	// Every core.Run cell of every artifact goes to one bounded pool; the
+	// emission code below blocks only on the cells each artifact needs.
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
+	base := core.RunConfig{Duration: *duration}
+
+	step("campaign: %d cells x %d replicas on %d workers (%v virtual per cell)",
+		2*len(workload.Classes)+1, *runs, *jobs, *duration)
+	run.Submit(campaign.MatrixCells(oses, workload.Classes, "default", base, *runs)...)
+
+	scannerKey := campaign.MatrixKey(ospersona.Win98, workload.Business, "scanner")
+	scannerCfg := base
+	scannerCfg.OS = ospersona.Win98
+	scannerCfg.Workload = workload.Business
+	scannerCfg.VirusScanner = true
+	run.Submit(campaign.Replicas(scannerKey, scannerCfg, *runs)...)
+
+	causeKey := campaign.MatrixKey(ospersona.Win98, workload.Business, "causetool")
+	run.Submit(campaign.Cell{Key: causeKey, Config: core.RunConfig{
+		OS: ospersona.Win98, Workload: workload.Business, Duration: *duration,
+		SoundScheme: true, CauseAnalysis: true,
+		CauseThreshold: 6 * time.Millisecond,
+	}})
+
+	// The non-campaign pipelines (throughput script, microbenchmarks,
+	// interactive response) run concurrently with the pool.
+	var (
+		auxWG sync.WaitGroup
+		tp    [2]core.ThroughputResult
+		mb    [2]microbench.Results
+		ir    [2]*interactive.Result
+	)
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		par.ForEach(len(oses), *jobs, func(i int) {
+			tp[i] = core.RunThroughput(oses[i], 300, *seed)
+			mb[i] = microbench.Run(oses[i], *seed, 1000)
+			ir[i] = interactive.Run(interactive.Config{
+				OS: oses[i], Workload: workload.Business, Duration: *duration, Seed: *seed,
+			})
+		})
+	}()
+
 	// --- Tables 1 and 2 (static) -------------------------------------------
 	emit(*outdir, "table1.txt", func(w io.Writer) error {
 		return figures.Table1().Write(w)
 	})
 	emit(*outdir, "table2.txt", func(w io.Writer) error {
-		for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+		for _, osSel := range oses {
 			if err := figures.Table2(osSel).Write(w); err != nil {
 				return err
 			}
@@ -50,19 +108,19 @@ func main() {
 	})
 
 	// --- The measurement campaign: both OSes × all workloads ----------------
-	step("measurement campaign (%v x %d per cell, 8 cells)", *duration, *runs)
+	// Collection order is fixed (OS, then class, then replica index), so the
+	// pooled results — and every artifact below — are independent of worker
+	// count and completion order.
 	byOS := map[ospersona.OS]map[workload.Class]*core.Result{}
-	for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+	for _, osSel := range oses {
 		byOS[osSel] = map[workload.Class]*core.Result{}
 		for _, wl := range workload.Classes {
-			byOS[osSel][wl] = core.RunMerged(core.RunConfig{
-				OS: osSel, Workload: wl, Duration: *duration, Seed: *seed,
-			}, *runs)
+			byOS[osSel][wl] = run.Merged(campaign.MatrixKey(osSel, wl, "default"), *runs)
 		}
 	}
 
 	// Figure 4 panels per OS.
-	for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+	for _, osSel := range oses {
 		osSel := osSel
 		name := ospersona.ProfileFor(osSel).Name
 		fname := "figure4_nt4.txt"
@@ -123,10 +181,7 @@ func main() {
 	// --- Figure 5: virus scanner --------------------------------------------
 	step("Figure 5 (virus scanner)")
 	emit(*outdir, "figure5_scanner.txt", func(w io.Writer) error {
-		dirty := core.RunMerged(core.RunConfig{
-			OS: ospersona.Win98, Workload: workload.Business,
-			Duration: *duration, Seed: *seed, VirusScanner: true,
-		}, *runs)
+		dirty := run.Merged(scannerKey, *runs)
 		clean := byOS[ospersona.Win98][workload.Business]
 		at := dirty.Freq.FromMillis(15)
 		fmt.Fprintf(w, "Figure 5: Effect of the Virus Scanner on RT Thread Latency (Win98, Business)\n\n")
@@ -141,32 +196,26 @@ func main() {
 
 	// --- §4.2 throughput ------------------------------------------------------
 	step("throughput")
+	auxWG.Wait()
 	emit(*outdir, "sec42_throughput.txt", func(w io.Writer) error {
-		nt := core.RunThroughput(ospersona.NT4, 300, *seed)
-		w98 := core.RunThroughput(ospersona.Win98, 300, *seed)
 		t := &report.Table{
 			Title:   "Winstone-style throughput (§4.2)",
 			Headers: []string{"System", "Script time (s)", "Score"},
 		}
-		for _, r := range []core.ThroughputResult{nt, w98} {
+		for _, r := range tp {
 			t.AddRow(r.OSName, fmt.Sprintf("%.2f", r.Seconds()), fmt.Sprintf("%.2f", r.Score()))
 		}
 		if err := t.Write(w); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "\nScore delta: %.1f%% (paper: ~10%% avg, 20%% max)\n", core.ThroughputDelta(nt, w98)*100)
+		fmt.Fprintf(w, "\nScore delta: %.1f%% (paper: ~10%% avg, 20%% max)\n", core.ThroughputDelta(tp[0], tp[1])*100)
 		return nil
 	})
 
 	// --- Table 4: cause tool ---------------------------------------------------
 	step("Table 4 (cause tool)")
 	emit(*outdir, "table4_causetool.txt", func(w io.Writer) error {
-		r := core.Run(core.RunConfig{
-			OS: ospersona.Win98, Workload: workload.Business,
-			Duration: *duration, Seed: *seed,
-			SoundScheme: true, CauseAnalysis: true,
-			CauseThreshold: 6 * time.Millisecond,
-		})
+		r := run.Result(causeKey)
 		fmt.Fprintf(w, "Table 4: Cause Tool Output, Win98 w. Biz Apps, Default Sound Scheme (%d episodes)\n\n", len(r.Episodes))
 		n := len(r.Episodes)
 		if n > 4 {
@@ -186,7 +235,7 @@ func main() {
 	// --- §5.2 schedulability ----------------------------------------------------
 	step("§5.2 schedulability")
 	emit(*outdir, "sec52_rma.txt", func(w io.Writer) error {
-		for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
+		for _, osSel := range oses {
 			r := byOS[osSel][workload.Games]
 			h := r.HwToThread[r.HighPriority()]
 			block := rma.PseudoWorstCase(h, r.UsageObserved(), r.Freq.Cycles(time.Hour))
@@ -212,15 +261,12 @@ func main() {
 			Title:   "Traditional microbenchmarks: idle-system averages (µs)",
 			Headers: []string{"Primitive"},
 		}
-		var rs []microbench.Results
-		for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
-			r := microbench.Run(osSel, *seed, 1000)
-			rs = append(rs, r)
+		for _, r := range mb {
 			t.Headers = append(t.Headers, r.OSName)
 		}
 		add := func(name string, pick func(microbench.Results) microbench.Stat) {
 			row := []string{name}
-			for _, r := range rs {
+			for _, r := range mb {
 				row = append(row, fmt.Sprintf("%.1f", pick(r).MeanUS))
 			}
 			t.AddRow(row...)
@@ -236,17 +282,17 @@ func main() {
 			Title:   "Interactive response under Business stress (Endo-style, §1.2)",
 			Headers: []string{"System", "p50 (ms)", "p99 (ms)", "worst (ms)", "within 150 ms"},
 		}
-		for _, osSel := range []ospersona.OS{ospersona.NT4, ospersona.Win98} {
-			ir := interactive.Run(interactive.Config{OS: osSel, Workload: workload.Business, Duration: *duration, Seed: *seed})
-			t.AddRow(ir.OSName,
-				fmt.Sprintf("%.1f", ir.Freq.Millis(ir.Response.Quantile(0.5))),
-				fmt.Sprintf("%.1f", ir.Freq.Millis(ir.Response.Quantile(0.99))),
-				fmt.Sprintf("%.1f", ir.Freq.Millis(ir.Response.Max())),
-				fmt.Sprintf("%.2f%%", ir.WithinMS(150)*100))
+		for _, r := range ir {
+			t.AddRow(r.OSName,
+				fmt.Sprintf("%.1f", r.Freq.Millis(r.Response.Quantile(0.5))),
+				fmt.Sprintf("%.1f", r.Freq.Millis(r.Response.Quantile(0.99))),
+				fmt.Sprintf("%.1f", r.Freq.Millis(r.Response.Max())),
+				fmt.Sprintf("%.2f%%", r.WithinMS(150)*100))
 		}
 		return t.Write(w)
 	})
 
+	run.Wait()
 	fmt.Printf("done in %v; artifacts in %s/\n", time.Since(start).Round(time.Second), *outdir)
 }
 

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"wdmlat/internal/campaign"
 	"wdmlat/internal/cli"
 	"wdmlat/internal/core"
 	"wdmlat/internal/figures"
@@ -28,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	scanner := flag.Bool("scanner", false, "install the Plus! 98 virus scanner")
 	runs := flag.Int("runs", 1, "independent replicas to pool per workload (deepens tails)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	flag.Parse()
 
 	osSel, err := cli.ParseOS(*osFlag)
@@ -36,16 +39,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	results := make(map[workload.Class]*core.Result)
-	for _, wl := range workload.Classes {
-		results[wl] = core.RunMerged(core.RunConfig{
-			OS:           osSel,
-			Workload:     wl,
-			Duration:     *duration,
-			Seed:         *seed,
-			VirusScanner: *scanner,
-		}, *runs)
+	variant := "default"
+	if *scanner {
+		variant = "scanner"
 	}
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
+	byOS := run.RunMatrix([]ospersona.OS{osSel}, workload.Classes, variant,
+		core.RunConfig{Duration: *duration, VirusScanner: *scanner}, *runs)
+	results := byOS[osSel]
 
 	name := ospersona.ProfileFor(osSel).Name
 	title := fmt.Sprintf("Table 3: Observed Hourly, Daily and Weekly Worst Case %s Latencies (in ms.)\n"+

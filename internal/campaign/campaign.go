@@ -1,0 +1,279 @@
+// Package campaign orchestrates measurement campaigns: it fans the
+// paper's independent measurement cells (OS personality × stress class ×
+// variant × replica) out across a bounded worker pool while preserving
+// byte-for-byte determinism.
+//
+// The determinism contract is the point of the package. Every Cell carries
+// a stable string key, and the cell's seed is derived from the campaign's
+// base seed by hashing that key through SplitMix64 (sim.DeriveSeed) — never
+// from a counter, submission index, or worker id. A cell's result therefore
+// depends only on (base seed, key, config), so a campaign run with one
+// worker and a campaign run with sixteen produce identical results, and so
+// do two campaigns that submit the same cells in different orders. The
+// paper's replication methodology (hours of collection per class, §3.1)
+// then parallelizes freely: replicas of one cell are just sibling cells
+// keyed "<cell>/0", "<cell>/1", ... and are pooled in replica order.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"wdmlat/internal/core"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/sim"
+	"wdmlat/internal/workload"
+)
+
+// Cell is one independent measurement: a run configuration plus the stable
+// identity its seed is derived from. Key is conventionally
+// "os/workload/variant/replica" (see MatrixKey/ReplicaKey) but any
+// campaign-unique string works. Config.Seed is ignored — the runner
+// overwrites it with sim.DeriveSeed(base seed, Key).
+type Cell struct {
+	Key    string
+	Config core.RunConfig
+}
+
+// Options configures a Runner.
+type Options struct {
+	// BaseSeed is the campaign seed every per-cell seed is derived from
+	// (default 1).
+	BaseSeed uint64
+	// Jobs bounds the number of concurrently executing cells; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Jobs int
+	// OnCellDone, if non-nil, is invoked from worker goroutines as each
+	// cell completes (progress reporting). It must be safe for concurrent
+	// use and must not block for long.
+	OnCellDone func(key string)
+}
+
+// Runner executes submitted cells on a bounded worker pool. Submit all
+// cells up front, then collect with Result/Merged — collection blocks only
+// until the requested cell (not the whole campaign) has finished, so
+// artifacts can be emitted as their inputs complete.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*pending          // FIFO of not-yet-started cells
+	cells map[string]*pending // every submitted cell, by key
+	live  int                 // worker goroutines currently running
+	open  int                 // submitted cells not yet finished
+}
+
+type pending struct {
+	cell Cell
+	done bool
+	res  *core.Result
+}
+
+// New returns a Runner with no cells submitted.
+func New(opts Options) *Runner {
+	if opts.BaseSeed == 0 {
+		opts.BaseSeed = 1
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{opts: opts, cells: map[string]*pending{}}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// BaseSeed returns the campaign's base seed.
+func (r *Runner) BaseSeed() uint64 { return r.opts.BaseSeed }
+
+// Submit enqueues cells for execution, deriving each cell's seed from the
+// campaign base seed and the cell key. It never blocks on simulation work.
+// Submitting an empty or duplicate key panics: keys are the determinism
+// contract, and a collision would silently correlate two cells.
+func (r *Runner) Submit(cells ...Cell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range cells {
+		if c.Key == "" {
+			panic("campaign: cell with empty key")
+		}
+		if _, dup := r.cells[c.Key]; dup {
+			panic(fmt.Sprintf("campaign: duplicate cell key %q", c.Key))
+		}
+		c.Config.Seed = sim.DeriveSeed(r.opts.BaseSeed, c.Key)
+		p := &pending{cell: c}
+		r.cells[c.Key] = p
+		r.queue = append(r.queue, p)
+		r.open++
+		if r.live < r.opts.Jobs {
+			r.live++
+			go r.worker()
+		}
+	}
+}
+
+// worker drains the queue and exits when it is empty; Submit spawns fresh
+// workers as needed, so a drained pool restarts transparently.
+func (r *Runner) worker() {
+	r.mu.Lock()
+	for len(r.queue) > 0 {
+		p := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+
+		res := core.Run(p.cell.Config)
+		if cb := r.opts.OnCellDone; cb != nil {
+			cb(p.cell.Key)
+		}
+
+		r.mu.Lock()
+		p.res = res
+		p.done = true
+		r.open--
+		r.cond.Broadcast()
+	}
+	r.live--
+	r.mu.Unlock()
+}
+
+// Result blocks until the cell with the given key has finished and returns
+// its result. It panics on an unknown key (the cell was never submitted,
+// so waiting would deadlock).
+func (r *Runner) Result(key string) *core.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.cells[key]
+	if !ok {
+		panic(fmt.Sprintf("campaign: result requested for unsubmitted cell %q", key))
+	}
+	for !p.done {
+		r.cond.Wait()
+	}
+	return p.res
+}
+
+// Merged collects the runs replica cells of key (submitted via Replicas)
+// and pools them in replica-index order — a fixed order, so the merged
+// histograms, counters and episode lists are independent of which worker
+// finished first.
+func (r *Runner) Merged(key string, runs int) *core.Result {
+	if runs < 1 {
+		runs = 1
+	}
+	base := r.Result(ReplicaKey(key, 0))
+	for i := 1; i < runs; i++ {
+		base.Merge(r.Result(ReplicaKey(key, i)))
+	}
+	return base
+}
+
+// Wait blocks until every submitted cell has finished.
+func (r *Runner) Wait() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.open > 0 {
+		r.cond.Wait()
+	}
+}
+
+// Run is the one-shot form: execute all cells on a fresh pool and return
+// results in cell order.
+func Run(cells []Cell, opts Options) []*core.Result {
+	r := New(opts)
+	r.Submit(cells...)
+	out := make([]*core.Result, len(cells))
+	for i, c := range cells {
+		out[i] = r.Result(c.Key)
+	}
+	return out
+}
+
+// Key joins key components with "/", the conventional separator.
+func Key(parts ...string) string { return strings.Join(parts, "/") }
+
+// ReplicaKey returns the key of replica i of a cell.
+func ReplicaKey(key string, i int) string { return key + "/" + strconv.Itoa(i) }
+
+// Replicas expands one logical cell into runs replica cells keyed
+// "<key>/0" ... "<key>/<runs-1>", all sharing cfg. Collect them pooled
+// with Runner.Merged(key, runs).
+func Replicas(key string, cfg core.RunConfig, runs int) []Cell {
+	if runs < 1 {
+		runs = 1
+	}
+	cells := make([]Cell, runs)
+	for i := range cells {
+		cells[i] = Cell{Key: ReplicaKey(key, i), Config: cfg}
+	}
+	return cells
+}
+
+// OSSlug returns the short stable key token for an OS personality (the
+// same tokens cli.ParseOS accepts).
+func OSSlug(o ospersona.OS) string {
+	switch o {
+	case ospersona.NT4:
+		return "nt4"
+	case ospersona.Win98:
+		return "win98"
+	case ospersona.Win2000Beta:
+		return "win2000"
+	default:
+		return "os" + strconv.Itoa(int(o))
+	}
+}
+
+// ClassSlug returns the short stable key token for a workload class.
+func ClassSlug(c workload.Class) string {
+	switch c {
+	case workload.Business:
+		return "business"
+	case workload.Workstation:
+		return "workstation"
+	case workload.Games:
+		return "games"
+	case workload.Web:
+		return "web"
+	default:
+		return "class" + strconv.Itoa(int(c))
+	}
+}
+
+// MatrixKey returns the canonical logical-cell key for one OS × workload
+// cell of a named campaign variant ("default", "scanner", ...).
+func MatrixKey(o ospersona.OS, c workload.Class, variant string) string {
+	return Key(OSSlug(o), ClassSlug(c), variant)
+}
+
+// MatrixCells builds the replica cells of a full OS × workload matrix. The
+// base config supplies everything but OS, Workload and Seed, which are set
+// per cell. Collect with Runner.Merged(MatrixKey(...), runs).
+func MatrixCells(oses []ospersona.OS, classes []workload.Class, variant string, base core.RunConfig, runs int) []Cell {
+	var cells []Cell
+	for _, o := range oses {
+		for _, c := range classes {
+			cfg := base
+			cfg.OS = o
+			cfg.Workload = c
+			cells = append(cells, Replicas(MatrixKey(o, c, variant), cfg, runs)...)
+		}
+	}
+	return cells
+}
+
+// RunMatrix submits a full OS × workload matrix on r and collects the
+// pooled per-cell results, indexed by OS then class.
+func (r *Runner) RunMatrix(oses []ospersona.OS, classes []workload.Class, variant string, base core.RunConfig, runs int) map[ospersona.OS]map[workload.Class]*core.Result {
+	r.Submit(MatrixCells(oses, classes, variant, base, runs)...)
+	out := make(map[ospersona.OS]map[workload.Class]*core.Result, len(oses))
+	for _, o := range oses {
+		out[o] = make(map[workload.Class]*core.Result, len(classes))
+		for _, c := range classes {
+			out[o][c] = r.Merged(MatrixKey(o, c, variant), runs)
+		}
+	}
+	return out
+}

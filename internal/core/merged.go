@@ -5,25 +5,65 @@ package core
 // independently-seeded runs into one result, which deepens the resolvable
 // tail in proportion to the pooled span (longer collections and more seeds
 // are statistically equivalent here because the generators are stationary).
+//
+// Replicas are independent simulations, so they fan out across a bounded
+// worker pool; determinism is preserved because each replica's seed depends
+// only on (base seed, replica index) and replicas are merged in index
+// order regardless of which worker finishes first.
 
-// RunMerged executes runs independent replicas of cfg (seeds cfg.Seed,
-// cfg.Seed+1, ...) and pools their distributions.
+import (
+	"strconv"
+
+	"wdmlat/internal/par"
+	"wdmlat/internal/sim"
+)
+
+// ReplicaSeed derives the seed of replica i of a pooled run. Replica 0
+// keeps the base seed (so RunMerged(cfg, 1) ≡ Run(cfg)); later replicas
+// hash their index against the base through SplitMix64. The earlier
+// additive scheme (base + i*7919) let campaigns with stride-offset base
+// seeds share entire replica streams (base 3 replica 1 == base 7922
+// replica 0); a keyed hash cannot alias that way.
+func ReplicaSeed(base uint64, i int) uint64 {
+	if i == 0 {
+		return base
+	}
+	return sim.DeriveSeed(base, "replica/"+strconv.Itoa(i))
+}
+
+// RunMerged executes runs independent replicas of cfg (seeds derived per
+// replica via ReplicaSeed) on a worker pool bounded by GOMAXPROCS and
+// pools their distributions.
 func RunMerged(cfg RunConfig, runs int) *Result {
+	return RunMergedJobs(cfg, runs, 0)
+}
+
+// RunMergedJobs is RunMerged with an explicit worker bound (jobs <= 0
+// means GOMAXPROCS, jobs == 1 runs strictly serially). The result is
+// byte-identical for every jobs value.
+func RunMergedJobs(cfg RunConfig, runs, jobs int) *Result {
 	if runs <= 1 {
 		return Run(cfg)
 	}
-	base := Run(cfg)
-	for i := 1; i < runs; i++ {
+	cfg.fillDefaults() // resolve the default seed before deriving from it
+	results := make([]*Result, runs)
+	par.ForEach(runs, jobs, func(i int) {
 		next := cfg
-		next.Seed = cfg.Seed + uint64(i)*7919 // decorrelate streams
-		r := Run(next)
-		base.merge(r)
+		next.Seed = ReplicaSeed(cfg.Seed, i)
+		results[i] = Run(next)
+	})
+	base := results[0]
+	for _, r := range results[1:] {
+		base.Merge(r)
 	}
 	return base
 }
 
-// merge pools other into r.
-func (r *Result) merge(other *Result) {
+// Merge pools other into r: histograms, counters and episode lists are
+// accumulated. Histogram and counter pooling is order-independent; the
+// episode list preserves merge order, so callers pooling replicas must
+// merge in a fixed (replica-index) order for full determinism.
+func (r *Result) Merge(other *Result) {
 	r.Observed += other.Observed
 	r.Samples += other.Samples
 	r.DpcInt.Merge(other.DpcInt)
@@ -53,6 +93,14 @@ func (r *Result) merge(other *Result) {
 	r.Counters.DPCs += other.Counters.DPCs
 	r.Counters.Switches += other.Counters.Switches
 	r.Counters.Episodes += other.Counters.Episodes
+	if other.Counters.MaxLockEpisode > r.Counters.MaxLockEpisode {
+		r.Counters.MaxLockEpisode = other.Counters.MaxLockEpisode
+	}
+	if other.Counters.MaxMaskEpisode > r.Counters.MaxMaskEpisode {
+		r.Counters.MaxMaskEpisode = other.Counters.MaxMaskEpisode
+	}
+	r.Counters.NMIs += other.Counters.NMIs
+	r.Counters.NMIsDropped += other.Counters.NMIsDropped
 	r.AudioUnderruns += other.AudioUnderruns
 	r.AudioPeriods += other.AudioPeriods
 	r.Episodes = append(r.Episodes, other.Episodes...)

@@ -1,0 +1,84 @@
+// Package par provides a minimal bounded worker pool for fanning
+// independent simulation work across CPUs. It deliberately has no
+// dependencies on the rest of the laboratory so that both the low-level
+// replica pooling in internal/core and the campaign orchestration in
+// internal/campaign can share one implementation.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n), using at most jobs concurrent
+// workers, and returns once all calls have completed. jobs <= 0 selects
+// runtime.GOMAXPROCS(0); jobs == 1 runs strictly serially on the calling
+// goroutine. A panic in any fn is re-raised on the calling goroutine after
+// the remaining workers drain (the first panic wins).
+//
+// Callers are responsible for determinism: fn must write only to its own
+// slot of any shared output so that results do not depend on worker count
+// or scheduling order.
+func ForEach(n, jobs int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		panicked any
+		wg       sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || panicked != nil {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	worker := func() {
+		defer wg.Done()
+		for {
+			i, ok := claim()
+			if !ok {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						mu.Lock()
+						if panicked == nil {
+							panicked = r
+						}
+						mu.Unlock()
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,71 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 7, 64} {
+		n := 137
+		counts := make([]int32, n)
+		ForEach(n, jobs, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	var inFlight, peak int32
+	ForEach(100, jobs, func(int) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+	})
+	if peak > jobs {
+		t.Fatalf("observed %d concurrent workers, bound is %d", peak, jobs)
+	}
+}
+
+func TestForEachSerialWhenOneJob(t *testing.T) {
+	var order []int
+	ForEach(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("jobs=1 must run in index order, got %v", order)
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(int) { ran = true })
+	ForEach(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn must not run for n <= 0")
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("expected panic \"boom\", got %v", r)
+		}
+	}()
+	ForEach(50, 4, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package sim
+
+// Campaign seed derivation. A measurement campaign runs many independent
+// cells (OS × workload × variant × replica); each needs its own seed, and
+// the mapping from cell to seed must depend only on the base seed and the
+// cell's stable identity — never on worker count, scheduling order, or the
+// order cells were created in — so that a parallel campaign reproduces a
+// serial one byte for byte.
+//
+// The additive schemes that look obvious here (seed+i, seed+i*prime) are
+// subtly wrong: two campaigns whose base seeds differ by the stride share
+// entire replica streams (base 3 replica 1 == base 7922 replica 0 when the
+// stride is 7919). Hashing the cell key through SplitMix64 breaks that
+// aliasing: any change to the base seed or any byte of the key yields an
+// unrelated 64-bit value.
+
+// SplitMix64 advances x through one round of the SplitMix64 output
+// function (Steele, Lea & Flood; the same finalizer RNG.Seed uses). It is
+// a strong 64-bit mixer: every input bit affects every output bit.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed maps a base seed and a stable cell key (e.g.
+// "nt4/games/default/2") to an independent per-cell seed by folding each
+// key byte into a running SplitMix64 state seeded from base. The result
+// depends only on (base, key), is never zero (RunConfig treats a zero seed
+// as "use the default", which would alias unrelated cells), and differs
+// across any change to either input.
+func DeriveSeed(base uint64, key string) uint64 {
+	h := SplitMix64(base)
+	for i := 0; i < len(key); i++ {
+		h = SplitMix64(h ^ uint64(key[i]))
+	}
+	// Mix the length in so "a" with base SplitMix64('a') cannot collide
+	// with "aa" patterns, and guarantee a non-zero result.
+	h = SplitMix64(h ^ uint64(len(key)))
+	if h == 0 {
+		h = 0x9e3779b97f4a7c15
+	}
+	return h
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+
+	"wdmlat/internal/sim"
+)
+
+// Property-based tests over randomized sample sets. Samples are bounded
+// below 2^20 cycles so that sums and sums of squares stay exactly
+// representable in float64 — merge associativity can then be asserted
+// bitwise, not just within tolerance.
+
+const propFreq = sim.Freq(300e6)
+
+// randHistogram fills a histogram with n samples from a mix of the
+// distribution families the simulator produces (uniform noise, exponential
+// bulk, Pareto tail), all clamped to [0, 2^20).
+func randHistogram(rng *sim.RNG, n int) *Histogram {
+	h := NewHistogram(propFreq)
+	for i := 0; i < n; i++ {
+		var v float64
+		switch rng.Intn(3) {
+		case 0:
+			v = float64(rng.Cyclesn(1 << 20))
+		case 1:
+			v = rng.Exp(5000)
+		default:
+			v = rng.Pareto(100, 1.1)
+		}
+		c := sim.Cycles(v)
+		if c < 0 {
+			c = 0
+		}
+		if c >= 1<<20 {
+			c = 1<<20 - 1
+		}
+		h.Add(c)
+	}
+	return h
+}
+
+// TestCCDFMonotoneNonIncreasing: P(X >= v) cannot grow as v grows.
+func TestCCDFMonotoneNonIncreasing(t *testing.T) {
+	rng := sim.NewRNG(101)
+	for trial := 0; trial < 20; trial++ {
+		h := randHistogram(rng, 500+rng.Intn(2000))
+		prev := 1.0
+		for v := sim.Cycles(0); v < 1<<21; v = v*2 + 1 {
+			cur := h.CCDF(v)
+			if cur > prev+1e-15 {
+				t.Fatalf("trial %d: CCDF increased from %g to %g at v=%d", trial, prev, cur, v)
+			}
+			if cur < 0 || cur > 1 {
+				t.Fatalf("trial %d: CCDF(%d) = %g outside [0,1]", trial, v, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestExpectedMaxMonotoneProperty: over randomized sample sets, a longer
+// horizon can only raise (never lower) the expected worst case, and it is
+// capped by the observed max. (stats_test.go checks the same property on
+// one fixed Pareto distribution; this sweeps random mixtures.)
+func TestExpectedMaxMonotoneProperty(t *testing.T) {
+	rng := sim.NewRNG(202)
+	observed := sim.Cycles(1 << 30)
+	for trial := 0; trial < 20; trial++ {
+		h := randHistogram(rng, 500+rng.Intn(2000))
+		prev := sim.Cycles(0)
+		for w := sim.Cycles(1); w <= observed*4; w *= 2 {
+			cur := h.ExpectedMaxOver(w, observed)
+			if cur < prev {
+				t.Fatalf("trial %d: expected max dropped from %d to %d as window grew to %d",
+					trial, prev, cur, w)
+			}
+			if cur > h.Max() {
+				t.Fatalf("trial %d: expected max %d exceeds observed max %d", trial, cur, h.Max())
+			}
+			prev = cur
+		}
+		if got := h.ExpectedMaxOver(observed, observed); got != h.Max() {
+			t.Fatalf("trial %d: window == observed must return the observed max", trial)
+		}
+	}
+}
+
+// TestMergeCommutative: a ∪ b == b ∪ a, bitwise.
+func TestMergeCommutative(t *testing.T) {
+	rng := sim.NewRNG(303)
+	for trial := 0; trial < 20; trial++ {
+		a := randHistogram(rng, 100+rng.Intn(1500))
+		b := randHistogram(rng, rng.Intn(1500)) // possibly empty-ish
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge is not commutative", trial)
+		}
+	}
+}
+
+// TestMergeAssociative: (a ∪ b) ∪ c == a ∪ (b ∪ c), bitwise (sample values
+// are small enough that the float accumulators are exact).
+func TestMergeAssociative(t *testing.T) {
+	rng := sim.NewRNG(404)
+	for trial := 0; trial < 20; trial++ {
+		a := randHistogram(rng, 100+rng.Intn(1000))
+		b := randHistogram(rng, rng.Intn(1000))
+		c := randHistogram(rng, rng.Intn(1000))
+
+		left := a.Clone()
+		left.Merge(b)
+		left.Merge(c)
+
+		bc := b.Clone()
+		bc.Merge(c)
+		right := a.Clone()
+		right.Merge(bc)
+
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: merge is not associative", trial)
+		}
+	}
+}
+
+// TestMergeWithEmptyIsIdentity: merging an empty histogram changes nothing
+// (in particular min/max sentinels must not leak through).
+func TestMergeWithEmptyIsIdentity(t *testing.T) {
+	rng := sim.NewRNG(505)
+	a := randHistogram(rng, 1000)
+	empty := NewHistogram(propFreq)
+
+	merged := a.Clone()
+	merged.Merge(empty)
+	if !reflect.DeepEqual(merged, a) {
+		t.Fatal("merging an empty histogram must be the identity")
+	}
+
+	other := empty.Clone()
+	other.Merge(a)
+	if !reflect.DeepEqual(other, a) {
+		t.Fatal("merging into an empty histogram must copy the samples")
+	}
+}
