@@ -1,15 +1,20 @@
 # Developer entry points. `make check` is the full gate: vet, build, tests
 # with the race detector (the campaign worker pool now runs simulations —
 # each with its own kernel thread goroutines — concurrently, so races are a
-# first-class failure mode, not a theoretical one).
+# first-class failure mode, not a theoretical one), plus the event-heap
+# oracle and steady-state allocation tests that guard the pooled substrate.
 
 GO ?= go
 
-.PHONY: all check vet build test race smoke reproduce clean
+# Bench comparison inputs for bench-compare (override on the command line).
+BASE ?= BENCH_0.json
+NEW  ?= BENCH_1.json
+
+.PHONY: all check vet build test race substrate smoke bench bench-smoke bench-compare reproduce clean
 
 all: check
 
-check: vet build test race
+check: vet build test race substrate
 
 vet:
 	$(GO) vet ./...
@@ -23,15 +28,40 @@ test:
 race:
 	$(GO) test -race ./...
 
+# substrate: the pooled-event-heap oracle property test under -race, plus
+# the zero-allocation tests without -race (AllocsPerRun is meaningless under
+# the race detector's instrumented allocator, so those tests skip themselves
+# there and must also run uninstrumented).
+substrate:
+	$(GO) test -race -run 'TestEngineHeapMatchesOracle|TestEngineFIFOUnderPooling' ./internal/sim/
+	$(GO) test -run 'TestEngineSteadyStateAllocFree' ./internal/sim/
+
 # smoke: a fast end-to-end pass of the full reproduction pipeline on the
 # parallel campaign runner. Artifacts land in a scratch directory (not
 # results/, which holds the full-length record).
 smoke:
 	$(GO) run ./cmd/reproduce -duration 5s -jobs 4 -outdir results-smoke
 
+# bench: record the substrate and experiment benchmarks into $(NEW). Compare
+# against the committed pre-optimisation baseline $(BASE) with bench-compare.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -json . > $(NEW)
+
+# bench-smoke: one iteration of every benchmark — asserts the benches still
+# compile and run, without the cost of a measured pass.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . > /dev/null
+
+# bench-compare: enforce the perf-regression policy (>10% ns/op or any
+# allocs/op growth fails) between two bench records.
+bench-compare:
+	$(GO) run ./cmd/benchdiff -base $(BASE) -new $(NEW)
+
 # reproduce: regenerate the checked-in full-length experimental record.
+# These flags are the record's provenance — results/ headers embed them, and
+# `git diff --exit-code results/` after this target is the determinism gate.
 reproduce:
-	$(GO) run ./cmd/reproduce
+	$(GO) run ./cmd/reproduce -duration 30m -runs 3
 
 clean:
 	rm -rf results-smoke

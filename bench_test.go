@@ -331,14 +331,40 @@ func BenchmarkKernelContextSwitch(b *testing.B) {
 	}
 }
 
-// BenchmarkHistogramAdd measures the latency-recording hot path.
+// BenchmarkEngineScheduleCancel measures the schedule/cancel churn path: a
+// rotating window of pending timers, as armed and disarmed by every device
+// model and wait timeout.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	eng := sim.NewEngine(1)
+	nop := func(sim.Time) {}
+	const depth = 64
+	var evs [depth]*sim.Event
+	for i := range evs {
+		evs[i] = eng.After(sim.Cycles(1000+i), "churn", nop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % depth
+		eng.Cancel(evs[j])
+		evs[j] = eng.After(sim.Cycles(1000+j), "churn", nop)
+	}
+}
+
+// BenchmarkHistogramAdd measures the latency-recording hot path in
+// isolation: samples are drawn ahead of time so the Pareto draw (dominated
+// by math.Pow) does not mask the bucketing cost being measured.
 func BenchmarkHistogramAdd(b *testing.B) {
 	h := stats.NewHistogram(sim.DefaultFreq)
 	r := sim.NewRNG(1)
 	d := sim.Pareto{Xm: 1000, Alpha: 1.3, Cap: 1 << 30}
+	const mask = 1<<16 - 1
+	draws := make([]sim.Cycles, mask+1)
+	for i := range draws {
+		draws[i] = d.Draw(r)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		h.Add(d.Draw(r))
+		h.Add(draws[i&mask])
 	}
 }
 

@@ -1,0 +1,220 @@
+// Command benchdiff compares two benchmark records produced by
+// `go test -json -bench` (the `make bench` output) and enforces the repo's
+// perf-regression policy: a benchmark may not get more than -max-regress
+// slower in ns/op, and may not allocate more per op, than the baseline.
+//
+// Usage:
+//
+//	benchdiff -base BENCH_0.json -new BENCH_1.json
+//
+// The tool prints a comparison table for every benchmark present in both
+// files and exits non-zero if any regression exceeds the policy, so it can
+// gate CI via `make bench-compare`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event stream benchdiff
+// needs: benchmark result lines arrive as Output events, with the
+// benchmark's name in the Test field (the Output itself holds only the
+// iteration count and metrics).
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// benchResult is one parsed benchmark result line.
+type benchResult struct {
+	Name     string
+	NsPerOp  float64
+	BPerOp   float64
+	AllocsOp float64
+	hasNs    bool
+	hasAlloc bool
+}
+
+// parseBenchFile reads a `go test -json` stream and returns results keyed by
+// benchmark name (GOMAXPROCS suffix stripped). Plain-text benchmark output
+// (without -json) is accepted too: lines starting with "Benchmark" parse the
+// same way.
+func parseBenchFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]benchResult)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				continue // tolerate interleaved non-JSON noise
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			text := strings.TrimSpace(ev.Output)
+			if strings.HasPrefix(ev.Test, "Benchmark") && !strings.HasPrefix(text, "Benchmark") {
+				// Metrics-only Output ("12  56.7 ns/op ...") for the
+				// benchmark named in Test: the result line was split
+				// across events at the name/metrics boundary.
+				if r, ok := parseMetrics(strings.Fields(text)); ok {
+					r.Name = ev.Test
+					out[r.Name] = r
+				}
+				continue
+			}
+			// Otherwise the Output may itself be a full result line
+			// ("BenchmarkName-8  12  56.7 ns/op ..."): fall through.
+			line = text
+		}
+		r, ok := parseBenchLine(strings.TrimSpace(line))
+		if ok {
+			out[r.Name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one testing.B result line:
+//
+//	BenchmarkName-8   1234   56.7 ns/op   8 B/op   1 allocs/op   0.5 extra-metric
+func parseBenchLine(line string) (benchResult, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return benchResult{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r, ok := parseMetrics(fields[1:])
+	if !ok {
+		return benchResult{}, false
+	}
+	r.Name = name
+	return r, true
+}
+
+// parseMetrics parses the tail of a benchmark result line: an iteration
+// count followed by "value unit" pairs.
+func parseMetrics(fields []string) (benchResult, bool) {
+	if len(fields) < 3 {
+		return benchResult{}, false
+	}
+	if _, err := strconv.ParseInt(fields[0], 10, 64); err != nil {
+		return benchResult{}, false // not an iteration count: a status line
+	}
+	var r benchResult
+	for i := 1; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, r.hasNs = v, true
+		case "B/op":
+			r.BPerOp = v
+		case "allocs/op":
+			r.AllocsOp, r.hasAlloc = v, true
+		}
+	}
+	return r, r.hasNs
+}
+
+func main() {
+	base := flag.String("base", "BENCH_0.json", "baseline bench record")
+	newer := flag.String("new", "BENCH_1.json", "candidate bench record")
+	maxRegress := flag.Float64("max-regress", 0.10,
+		"maximum tolerated ns/op regression as a fraction (0.10 = 10%)")
+	flag.Parse()
+
+	baseRes, err := parseBenchFile(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRes, err := parseBenchFile(*newer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(baseRes))
+	for name := range baseRes {
+		if _, ok := newRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between", *base, "and", *newer)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-52s %14s %14s %8s %16s\n",
+		"benchmark", "base ns/op", "new ns/op", "speedup", "allocs/op")
+	var failures []string
+	for _, name := range names {
+		b, n := baseRes[name], newRes[name]
+		speedup := 0.0
+		if n.NsPerOp > 0 {
+			speedup = b.NsPerOp / n.NsPerOp
+		}
+		status := ""
+		if n.NsPerOp > b.NsPerOp*(1+*maxRegress) {
+			status = "  REGRESSION(time)"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.4g -> %.4g ns/op (%.1f%% slower, limit %.0f%%)",
+				name, b.NsPerOp, n.NsPerOp,
+				(n.NsPerOp/b.NsPerOp-1)*100, *maxRegress*100))
+		}
+		allocs := ""
+		if b.hasAlloc || n.hasAlloc {
+			allocs = fmt.Sprintf("%.0f -> %.0f", b.AllocsOp, n.AllocsOp)
+			if n.AllocsOp > b.AllocsOp {
+				status += "  REGRESSION(allocs)"
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs/op grew %.0f -> %.0f", name, b.AllocsOp, n.AllocsOp))
+			}
+		}
+		fmt.Printf("%-52s %14.4g %14.4g %7.2fx %16s%s\n",
+			name, b.NsPerOp, n.NsPerOp, speedup, allocs, status)
+	}
+
+	fmt.Printf("\n%d benchmarks compared (%s -> %s)\n", len(names), *base, *newer)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("no regressions beyond policy")
+}

@@ -14,6 +14,7 @@ type PIT struct {
 	line   IRQLine
 	period sim.Cycles
 	tick   *sim.Event
+	tickFn func(sim.Time) // tick callback, allocated once
 	ticks  uint64
 	epoch  sim.Time // time of last Program call; ticks count from here
 }
@@ -23,7 +24,16 @@ func NewPIT(eng *sim.Engine, line IRQLine) *PIT {
 	if line == nil {
 		panic("hw: PIT with nil interrupt line")
 	}
-	return &PIT{eng: eng, line: line}
+	p := &PIT{eng: eng, line: line}
+	p.tickFn = func(sim.Time) {
+		// Event records are pooled: drop the handle before re-arming so a
+		// later Stop cannot cancel a recycled record.
+		p.tick = nil
+		p.ticks++
+		p.arm() // re-arm first: the ISR path may run arbitrary code
+		p.line.Assert()
+	}
+	return p
 }
 
 // Program sets the interrupt period and (re)starts the count. The first
@@ -39,12 +49,7 @@ func (p *PIT) Program(period sim.Cycles) {
 }
 
 func (p *PIT) arm() {
-	p.tick = p.eng.After(p.period, "pit-tick", func(now sim.Time) {
-		p.ticks++
-		p.tick = nil
-		p.arm() // re-arm first: the ISR path may run arbitrary code
-		p.line.Assert()
-	})
+	p.tick = p.eng.After(p.period, "pit-tick", p.tickFn)
 }
 
 // Stop halts the timer.

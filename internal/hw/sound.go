@@ -18,6 +18,7 @@ type Sound struct {
 	underruns uint64
 	periods   uint64
 	tick      *sim.Event
+	tickFn    func(sim.Time) // period callback, allocated once
 }
 
 // NewSound creates a device with the given hardware buffer queue depth.
@@ -25,7 +26,21 @@ func NewSound(eng *sim.Engine, line IRQLine, depth int) *Sound {
 	if depth <= 0 {
 		panic("hw: non-positive sound queue depth")
 	}
-	return &Sound{eng: eng, line: line, depth: depth}
+	s := &Sound{eng: eng, line: line, depth: depth}
+	s.tickFn = func(sim.Time) {
+		// Event records are pooled: drop the handle before re-arming so a
+		// later Stop cannot cancel a recycled record.
+		s.tick = nil
+		s.periods++
+		if s.queued > 0 {
+			s.queued--
+		} else {
+			s.underruns++
+		}
+		s.arm()
+		s.line.Assert() // buffer-complete interrupt: driver should refill
+	}
+	return s
 }
 
 // SetDepth changes the hardware buffer queue depth. Playback must be
@@ -67,17 +82,7 @@ func (s *Sound) Stop() {
 }
 
 func (s *Sound) arm() {
-	s.tick = s.eng.After(s.period, "sound-period", func(now sim.Time) {
-		s.tick = nil
-		s.periods++
-		if s.queued > 0 {
-			s.queued--
-		} else {
-			s.underruns++
-		}
-		s.arm()
-		s.line.Assert() // buffer-complete interrupt: driver should refill
-	})
+	s.tick = s.eng.After(s.period, "sound-period", s.tickFn)
 }
 
 // Refill adds one refilled buffer (the driver DPC calls this). Refilling a

@@ -37,15 +37,22 @@ func (k activityKind) String() string {
 // stack: a higher-level activity suspends the one below and resumes it on
 // completion. The running (top) activity has a completion event scheduled;
 // suspended activities only carry their remaining work.
+//
+// Records are pooled on the owning kernel (newActivity/releaseActivity):
+// activities are created and completed on every interrupt, DPC and context
+// switch, so recycling them — together with the precomputed doneLabel and
+// the once-per-record fire closure — keeps the dispatch loop allocation-free.
 type activity struct {
 	kind       activityKind
 	level      int
 	label      string
+	doneLabel  string // completion-event label, precomputed by the creator
 	frame      cpu.Frame
 	remaining  sim.Cycles
 	resumedAt  sim.Time   // when the activity last (re)started running
 	done       *sim.Event // completion event while running
 	onComplete func(now sim.Time)
+	fire       func(now sim.Time) // completion callback; bound once per record
 }
 
 // suspend stops the running activity's clock: its completion event is
@@ -67,9 +74,10 @@ func (a *activity) suspend(eng *sim.Engine, now sim.Time) {
 // or above its level; it is admitted by the dispatch loop as soon as the
 // occupancy drops.
 type pendingEpisode struct {
-	level    int
-	duration sim.Cycles
-	frame    cpu.Frame
-	label    string
-	since    sim.Time
+	level     int
+	duration  sim.Cycles
+	frame     cpu.Frame
+	label     string
+	doneLabel string
+	since     sim.Time
 }

@@ -40,6 +40,9 @@ type DPC struct {
 	Importance Importance
 	fn         func(*DpcContext)
 
+	doneLabel string      // precomputed completion-event label
+	ctx       *DpcContext // reusable body context, bound on first run
+
 	queued   bool
 	queuedAt sim.Time
 	runs     uint64
@@ -50,7 +53,7 @@ func NewDPC(name string, imp Importance, fn func(*DpcContext)) *DPC {
 	if fn == nil {
 		panic("kernel: nil DPC body")
 	}
-	return &DPC{Name: name, Importance: imp, fn: fn}
+	return &DPC{Name: name, Importance: imp, fn: fn, doneLabel: "dpc:" + name}
 }
 
 // Runs returns how many times the DPC has executed.
@@ -103,7 +106,11 @@ func (k *Kernel) queueDpc(d *DPC) bool {
 	d.queued = true
 	d.queuedAt = k.now()
 	if d.Importance == HighImportance {
-		k.dpcQ = append([]*DPC{d}, k.dpcQ...)
+		// Insert at the head in place; the queue is short and this avoids
+		// reallocating a fresh backing array per high-importance insert.
+		k.dpcQ = append(k.dpcQ, nil)
+		copy(k.dpcQ[1:], k.dpcQ)
+		k.dpcQ[0] = d
 	} else {
 		k.dpcQ = append(k.dpcQ, d)
 	}
@@ -121,17 +128,21 @@ func (k *Kernel) QueueDpc(d *DPC) bool { return k.queueDpc(d) }
 // startDPC pops the queue head and runs it as a DISPATCH_LEVEL activity.
 func (k *Kernel) startDPC() {
 	d := k.dpcQ[0]
-	k.dpcQ = k.dpcQ[1:]
+	// Shift down in place rather than reslicing from the front: reslicing
+	// sheds capacity one slot per pop, so the next insert reallocates.
+	n := copy(k.dpcQ, k.dpcQ[1:])
+	k.dpcQ[n] = nil
+	k.dpcQ = k.dpcQ[:n]
 	d.queued = false
 	d.runs++
 	k.counters.DPCs++
 
-	act := &activity{
-		kind:  actDPC,
-		level: levelDispatch,
-		label: d.Name,
-		frame: cpu.Frame{Module: d.Name, Function: "DPC"},
-	}
+	act := k.newActivity()
+	act.kind = actDPC
+	act.level = levelDispatch
+	act.label = d.Name
+	act.doneLabel = d.doneLabel
+	act.frame = cpu.Frame{Module: d.Name, Function: "DPC"}
 	k.occupy(act)
 
 	k.cpu.ResetCharge()
@@ -139,7 +150,10 @@ func (k *Kernel) startDPC() {
 	if k.probe.DpcStarted != nil {
 		k.probe.DpcStarted(d, d.queuedAt, k.cpu.TSC())
 	}
-	d.fn(&DpcContext{k: k, d: d})
+	if d.ctx == nil || d.ctx.k != k {
+		d.ctx = &DpcContext{k: k, d: d}
+	}
+	d.fn(d.ctx)
 	act.remaining = k.cpu.ResetCharge()
 }
 

@@ -67,13 +67,15 @@ func (k *Kernel) InjectEpisode(kind EpisodeKind, duration sim.Cycles, module, fu
 			k.counters.MaxLockEpisode = duration
 		}
 	}
-	k.episodes = append(k.episodes, &pendingEpisode{
-		level:    kind.level(),
-		duration: duration,
-		frame:    cpu.Frame{Module: module, Function: function},
-		label:    module + ":" + function,
-		since:    k.now(),
-	})
+	lbl := k.episodeLabels(module, function)
+	ep := k.newEpisode()
+	ep.level = kind.level()
+	ep.duration = duration
+	ep.frame = cpu.Frame{Module: module, Function: function}
+	ep.label = lbl.label
+	ep.doneLabel = lbl.doneLabel
+	ep.since = k.now()
+	k.episodes = append(k.episodes, ep)
 	k.maybeRun()
 }
 
@@ -98,13 +100,14 @@ func (k *Kernel) takeEpisode(top, level int) *pendingEpisode {
 // startEpisode pushes a pending episode onto the occupancy stack.
 func (k *Kernel) startEpisode(ep *pendingEpisode) {
 	k.counters.Episodes++
-	act := &activity{
-		kind:      actEpisode,
-		level:     ep.level,
-		label:     ep.label,
-		frame:     ep.frame,
-		remaining: ep.duration,
-	}
+	act := k.newActivity()
+	act.kind = actEpisode
+	act.level = ep.level
+	act.label = ep.label
+	act.doneLabel = ep.doneLabel
+	act.frame = ep.frame
+	act.remaining = ep.duration
 	k.occupy(act)
+	k.releaseEpisode(ep) // the activity carries everything from here on
 	// resumeTop (dispatch loop) schedules the completion.
 }

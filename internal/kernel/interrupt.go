@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"strconv"
 
 	"wdmlat/internal/cpu"
 	"wdmlat/internal/sim"
@@ -16,6 +17,12 @@ type Interrupt struct {
 	Module   string // owning driver, for the cause tool's frames
 	Function string
 	isr      func(*IsrContext)
+
+	// Precomputed at Connect so acceptInterrupt does no per-delivery
+	// formatting, plus a reusable ISR context (ISRs run one at a time).
+	actLabel  string
+	doneLabel string
+	ctx       *IsrContext
 
 	pending    bool
 	assertedAt sim.Time
@@ -62,9 +69,12 @@ func (k *Kernel) Connect(vector int, irql IRQL, module, function string, isr fun
 		panic(fmt.Sprintf("kernel: cannot connect ISR at %v", irql))
 	}
 	intr := &Interrupt{k: k, Vector: vector, Irql: irql, Module: module, Function: function, isr: isr}
+	intr.actLabel = module + " vec" + strconv.Itoa(vector)
+	intr.doneLabel = "isr:" + intr.actLabel
+	intr.ctx = &IsrContext{k: k, irq: intr}
 	k.interrupts[vector] = intr
 	k.cpu.Install(vector, func(now sim.Time) {
-		intr.isr(&IsrContext{k: k, irq: intr})
+		intr.isr(intr.ctx)
 	})
 	return intr
 }
@@ -135,12 +145,12 @@ func (k *Kernel) acceptInterrupt(intr *Interrupt) {
 	intr.pending = false
 	k.counters.Interrupts++
 
-	act := &activity{
-		kind:  actISR,
-		level: isrLevel(intr.Irql),
-		label: fmt.Sprintf("%s vec%d", intr.Module, intr.Vector),
-		frame: cpu.Frame{Module: intr.Module, Function: intr.Function},
-	}
+	act := k.newActivity()
+	act.kind = actISR
+	act.level = isrLevel(intr.Irql)
+	act.label = intr.actLabel
+	act.doneLabel = intr.doneLabel
+	act.frame = cpu.Frame{Module: intr.Module, Function: intr.Function}
 	k.occupy(act)
 
 	entry := k.draw(k.cfg.IsrEntry)

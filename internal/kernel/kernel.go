@@ -122,6 +122,9 @@ type Kernel struct {
 	// CPU occupancy above thread level.
 	stack    []*activity
 	episodes []*pendingEpisode
+	actFree  []*activity        // recycled activity records
+	epFree   []*pendingEpisode  // recycled pending-episode records
+	epLabels map[epLabelKey]epLabelVal
 
 	// Interrupt state.
 	interrupts map[int]*Interrupt
@@ -278,6 +281,68 @@ func (k *Kernel) maybeRun() {
 	}
 }
 
+// newActivity returns a recycled activity record, or a fresh one whose
+// completion callback is bound to the record once for its whole lifetime.
+func (k *Kernel) newActivity() *activity {
+	if n := len(k.actFree); n > 0 {
+		act := k.actFree[n-1]
+		k.actFree[n-1] = nil
+		k.actFree = k.actFree[:n-1]
+		return act
+	}
+	act := &activity{}
+	act.fire = func(now sim.Time) { k.completeActivity(act, now) }
+	return act
+}
+
+// releaseActivity returns a completed record to the pool, dropping any
+// per-use closure so the pool does not pin captured state alive.
+func (k *Kernel) releaseActivity(act *activity) {
+	act.label = ""
+	act.doneLabel = ""
+	act.frame = cpu.Frame{}
+	act.onComplete = nil
+	act.remaining = 0
+	k.actFree = append(k.actFree, act)
+}
+
+// epLabelKey / epLabelVal cache the "module:function" episode labels:
+// episodes are injected at interrupt rates from a small fixed set of
+// profile frames, so the concatenation is paid once per distinct frame
+// rather than once per episode.
+type epLabelKey struct{ module, function string }
+type epLabelVal struct{ label, doneLabel string }
+
+func (k *Kernel) episodeLabels(module, function string) epLabelVal {
+	key := epLabelKey{module, function}
+	if v, ok := k.epLabels[key]; ok {
+		return v
+	}
+	if k.epLabels == nil {
+		k.epLabels = make(map[epLabelKey]epLabelVal)
+	}
+	l := module + ":" + function
+	v := epLabelVal{label: l, doneLabel: "episode:" + l}
+	k.epLabels[key] = v
+	return v
+}
+
+// newEpisode returns a recycled pending-episode record or a fresh one.
+func (k *Kernel) newEpisode() *pendingEpisode {
+	if n := len(k.epFree); n > 0 {
+		ep := k.epFree[n-1]
+		k.epFree[n-1] = nil
+		k.epFree = k.epFree[:n-1]
+		return ep
+	}
+	return &pendingEpisode{}
+}
+
+// releaseEpisode returns a started episode's record to the pool.
+func (k *Kernel) releaseEpisode(ep *pendingEpisode) {
+	k.epFree = append(k.epFree, ep)
+}
+
 // resumeTop restarts the clock of the top-of-stack activity.
 func (k *Kernel) resumeTop() {
 	act := k.stack[len(k.stack)-1]
@@ -285,9 +350,7 @@ func (k *Kernel) resumeTop() {
 		return // already running
 	}
 	act.resumedAt = k.now()
-	act.done = k.eng.After(act.remaining, act.kind.String()+":"+act.label, func(now sim.Time) {
-		k.completeActivity(act, now)
-	})
+	act.done = k.eng.After(act.remaining, act.doneLabel, act.fire)
 }
 
 // occupy suspends whatever is currently using the CPU and pushes act on the
@@ -332,6 +395,7 @@ func (k *Kernel) completeActivity(act *activity, now sim.Time) {
 	if act.onComplete != nil {
 		act.onComplete(now)
 	}
+	k.releaseActivity(act)
 	k.maybeRun()
 }
 

@@ -38,12 +38,12 @@ func (k *Kernel) AssertNMI() {
 	}
 	k.counters.NMIs++
 
-	act := &activity{
-		kind:  actISR,
-		level: levelNMI,
-		label: "nmi",
-		frame: cpu.Frame{Module: "NTOSKRNL", Function: "_KiTrap02"},
-	}
+	act := k.newActivity()
+	act.kind = actISR
+	act.level = levelNMI
+	act.label = "nmi"
+	act.doneLabel = "isr:nmi"
+	act.frame = cpu.Frame{Module: "NTOSKRNL", Function: "_KiTrap02"}
 	k.occupy(act)
 	k.cpu.ResetCharge()
 	k.cpu.AddCharge(200) // trap entry: ~0.7 µs
@@ -59,6 +59,7 @@ type PerfCounterSampler struct {
 	k       *Kernel
 	period  sim.Cycles
 	ev      *sim.Event
+	tickFn  func(sim.Time) // re-arm callback, allocated once
 	running bool
 }
 
@@ -67,7 +68,18 @@ func (k *Kernel) NewPerfCounterSampler(period sim.Cycles) *PerfCounterSampler {
 	if period <= 0 {
 		panic("kernel: non-positive perf counter period")
 	}
-	return &PerfCounterSampler{k: k, period: period}
+	s := &PerfCounterSampler{k: k, period: period}
+	s.tickFn = func(sim.Time) {
+		// Event records are pooled: drop the handle before anything else so
+		// Stop cannot cancel a recycled record.
+		s.ev = nil
+		if !s.running {
+			return
+		}
+		s.arm()
+		s.k.AssertNMI()
+	}
+	return s
 }
 
 // Start begins overflow NMIs every period cycles.
@@ -80,13 +92,7 @@ func (s *PerfCounterSampler) Start() {
 }
 
 func (s *PerfCounterSampler) arm() {
-	s.ev = s.k.eng.After(s.period, "perfctr-nmi", func(sim.Time) {
-		if !s.running {
-			return
-		}
-		s.arm()
-		s.k.AssertNMI()
-	})
+	s.ev = s.k.eng.After(s.period, "perfctr-nmi", s.tickFn)
 }
 
 // Stop halts the counter.

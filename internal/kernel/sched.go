@@ -11,9 +11,14 @@ func (k *Kernel) pushReadyBack(t *Thread) {
 }
 
 // pushReadyFront prepends t, used when a thread is preempted so it runs
-// next among its peers.
+// next among its peers. The shift happens in the existing backing array:
+// ready queues are short and preemption is frequent, so reallocating per
+// preemption would dominate the queue cost.
 func (k *Kernel) pushReadyFront(t *Thread) {
-	k.ready[t.priority] = append([]*Thread{t}, k.ready[t.priority]...)
+	q := append(k.ready[t.priority], nil)
+	copy(q[1:], q)
+	q[0] = t
+	k.ready[t.priority] = q
 }
 
 // bestReadyPriority returns the highest priority with a ready thread, or -1.
@@ -26,11 +31,15 @@ func (k *Kernel) bestReadyPriority() int {
 	return -1
 }
 
-// popReady removes and returns the head of the given priority queue.
+// popReady removes and returns the head of the given priority queue. The
+// remainder shifts down in place: reslicing from the front would shed one
+// slot of capacity per pop and force the next push to reallocate.
 func (k *Kernel) popReady(p int) *Thread {
 	q := k.ready[p]
 	t := q[0]
-	k.ready[p] = q[1:]
+	n := copy(q, q[1:])
+	q[n] = nil
+	k.ready[p] = q[:n]
 	return t
 }
 
@@ -88,23 +97,15 @@ func (k *Kernel) scheduleStep() bool {
 // time (§2.1), unlike hbench-style microbenchmarks.
 func (k *Kernel) startSwitch(next *Thread) {
 	next.state = threadStandby
-	readiedAt := next.readiedAt
-	act := &activity{
-		kind:      actSwitch,
-		level:     levelSchedLock,
-		label:     "switch:" + next.Name,
-		frame:     cpu.Frame{Module: "NTKERN", Function: "_SwapContext"},
-		remaining: k.draw(k.cfg.ContextSwitch),
-		onComplete: func(now sim.Time) {
-			next.state = threadRunning
-			next.switches++
-			k.counters.Switches++
-			k.current = next
-			if k.probe.ThreadDispatched != nil {
-				k.probe.ThreadDispatched(next, readiedAt, now)
-			}
-		},
-	}
+	next.switchReadiedAt = next.readiedAt
+	act := k.newActivity()
+	act.kind = actSwitch
+	act.level = levelSchedLock
+	act.label = next.labelSwitch
+	act.doneLabel = next.labelSwitch
+	act.frame = cpu.Frame{Module: "NTKERN", Function: "_SwapContext"}
+	act.remaining = k.draw(k.cfg.ContextSwitch)
+	act.onComplete = next.onSwitchDoneFn
 	k.occupy(act)
 }
 
@@ -112,16 +113,12 @@ func (k *Kernel) startSwitch(next *Thread) {
 // execution.
 func (k *Kernel) beginExecSegment(t *Thread) {
 	t.segStart = k.now()
-	t.execDone = k.eng.After(t.execRemaining, "exec:"+t.Name, func(now sim.Time) {
-		k.onExecDone(t, now)
-	})
+	t.execDone = k.eng.After(t.execRemaining, t.labelExec, t.onExecDoneFn)
 	if k.cfg.Quantum > 0 {
 		if t.quantumLeft <= 0 {
 			t.quantumLeft = k.cfg.Quantum
 		}
-		t.quantumEvent = k.eng.After(t.quantumLeft, "quantum:"+t.Name, func(now sim.Time) {
-			k.onQuantumExpiry(t, now)
-		})
+		t.quantumEvent = k.eng.After(t.quantumLeft, t.labelQuantum, t.onQuantumFn)
 	}
 }
 
@@ -184,9 +181,7 @@ func (k *Kernel) onQuantumExpiry(t *Thread, now sim.Time) {
 	if !k.hasReadyAt(t.priority) {
 		t.quantumLeft = k.cfg.Quantum
 		if t.execDone != nil {
-			t.quantumEvent = k.eng.After(t.quantumLeft, "quantum:"+t.Name, func(now sim.Time) {
-				k.onQuantumExpiry(t, now)
-			})
+			t.quantumEvent = k.eng.After(t.quantumLeft, t.labelQuantum, t.onQuantumFn)
 		}
 		return
 	}
@@ -257,17 +252,15 @@ func (k *Kernel) beginRaisedExec(t *Thread, req request) {
 	case req.irql >= MinDeviceIRQL:
 		level = isrLevel(req.irql)
 	}
-	act := &activity{
-		kind:      actEpisode,
-		level:     level,
-		label:     "raisedIRQL:" + t.Name,
-		frame:     cpu.Frame{Module: t.Name, Function: "_KeRaiseIrql"},
-		remaining: req.cycles,
-		onComplete: func(now sim.Time) {
-			t.cpuTime += req.cycles
-			t.needsResume = true
-		},
-	}
+	t.raisedCycles = req.cycles
+	act := k.newActivity()
+	act.kind = actEpisode
+	act.level = level
+	act.label = t.labelRaised
+	act.doneLabel = t.labelRaised
+	act.frame = cpu.Frame{Module: t.Name, Function: "_KeRaiseIrql"}
+	act.remaining = req.cycles
+	act.onComplete = t.onRaisedDoneFn
 	k.occupy(act)
 }
 
@@ -295,9 +288,7 @@ func (k *Kernel) beginWait(t *Thread, req request) {
 		req.obj.addWaiter(t)
 	}
 	if req.timeout >= 0 {
-		t.waitTimeoutEv = k.eng.After(req.timeout, "waitTimeout:"+t.Name, func(now sim.Time) {
-			k.onWaitTimeout(t)
-		})
+		t.waitTimeoutEv = k.eng.After(req.timeout, t.labelWaitTimeout, t.onWaitTimeoutFn)
 	}
 	k.current = nil
 }
@@ -319,9 +310,7 @@ func (k *Kernel) beginWaitAny(t *Thread, req request) {
 		o.addWaiter(t)
 	}
 	if req.timeout >= 0 {
-		t.waitTimeoutEv = k.eng.After(req.timeout, "waitAnyTimeout:"+t.Name, func(now sim.Time) {
-			k.onWaitTimeout(t)
-		})
+		t.waitTimeoutEv = k.eng.After(req.timeout, t.labelWaitAny, t.onWaitTimeoutFn)
 	}
 	k.current = nil
 }

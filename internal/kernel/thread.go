@@ -99,6 +99,23 @@ type Thread struct {
 	switches   uint64
 	doneEvent  *Event // signaled at termination; waitable for joins
 	terminated bool
+
+	// Per-thread event labels and callbacks, built once at creation so the
+	// scheduler's hot paths (exec segments, quanta, wait timeouts, context
+	// switches) neither format strings nor allocate closures per event.
+	labelExec        string
+	labelQuantum     string
+	labelWaitTimeout string
+	labelWaitAny     string
+	labelSwitch      string
+	labelRaised      string
+	onExecDoneFn     func(sim.Time)
+	onQuantumFn      func(sim.Time)
+	onWaitTimeoutFn  func(sim.Time)
+	onSwitchDoneFn   func(sim.Time)
+	onRaisedDoneFn   func(sim.Time)
+	switchReadiedAt  sim.Time   // readiedAt latched when the switch began
+	raisedCycles     sim.Cycles // cost of the raised-IRQL section in flight
 }
 
 // CreateThread creates and readies a kernel thread (PsCreateSystemThread).
@@ -123,6 +140,28 @@ func (k *Kernel) CreateThread(name string, priority int, fn func(tc *ThreadConte
 		needsResume: true,
 	}
 	t.doneEvent = k.NewEvent(name+".done", NotificationEvent)
+	t.labelExec = "exec:" + name
+	t.labelQuantum = "quantum:" + name
+	t.labelWaitTimeout = "waitTimeout:" + name
+	t.labelWaitAny = "waitAnyTimeout:" + name
+	t.labelSwitch = "switch:" + name
+	t.labelRaised = "raisedIRQL:" + name
+	t.onExecDoneFn = func(now sim.Time) { k.onExecDone(t, now) }
+	t.onQuantumFn = func(now sim.Time) { k.onQuantumExpiry(t, now) }
+	t.onWaitTimeoutFn = func(sim.Time) { k.onWaitTimeout(t) }
+	t.onSwitchDoneFn = func(now sim.Time) {
+		t.state = threadRunning
+		t.switches++
+		k.counters.Switches++
+		k.current = t
+		if k.probe.ThreadDispatched != nil {
+			k.probe.ThreadDispatched(t, t.switchReadiedAt, now)
+		}
+	}
+	t.onRaisedDoneFn = func(sim.Time) {
+		t.cpuTime += t.raisedCycles
+		t.needsResume = true
+	}
 	k.threads = append(k.threads, t)
 
 	tc := &ThreadContext{k: k, t: t}

@@ -110,6 +110,7 @@ type Datapump struct {
 	started   sim.Time
 	running   bool
 	pace      *sim.Event
+	paceFn    func(sim.Time) // line-pace callback, allocated once
 }
 
 // Attach creates a datapump on a machine's kernel. Start begins the line.
@@ -121,6 +122,24 @@ func Attach(k *kernel.Kernel, cfg Config) *Datapump {
 		cfg:     cfg,
 		period:  freq.FromMillis(cfg.CycleMS),
 		compute: sim.Cycles(float64(freq.FromMillis(cfg.CycleMS)) * cfg.ComputeFraction),
+	}
+	d.paceFn = func(sim.Time) {
+		// Event records are pooled: drop the handle before anything else so
+		// Stop cannot cancel a recycled record.
+		d.pace = nil
+		if !d.running {
+			return
+		}
+		d.cycles++
+		if d.queue > 0 {
+			d.queue--
+		} else {
+			// Buffer underrun: the hardware transmits a dummy buffer
+			// (footnote 6: indistinguishable from line noise to the peer).
+			d.underruns++
+		}
+		d.armPace()
+		d.intr.Assert()
 	}
 	d.dpc = kernel.NewDPC("SOFTMDM", kernel.MediumImportance, d.pumpDpc)
 	d.intr = k.Connect(cfg.Vector, cfg.Irql, "SOFTMDM", "_CodecISR", func(c *kernel.IsrContext) {
@@ -160,21 +179,7 @@ func (d *Datapump) Start() {
 // armPace schedules the next hardware cycle. This is pure hardware: it is
 // not delayed by anything the OS does.
 func (d *Datapump) armPace() {
-	d.pace = d.k.Engine().After(d.period, "modem-line", func(sim.Time) {
-		if !d.running {
-			return
-		}
-		d.cycles++
-		if d.queue > 0 {
-			d.queue--
-		} else {
-			// Buffer underrun: the hardware transmits a dummy buffer
-			// (footnote 6: indistinguishable from line noise to the peer).
-			d.underruns++
-		}
-		d.armPace()
-		d.intr.Assert()
-	})
+	d.pace = d.k.Engine().After(d.period, "modem-line", d.paceFn)
 }
 
 // Stop closes the line.

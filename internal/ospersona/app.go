@@ -34,6 +34,20 @@ type App struct {
 	done   uint64
 	ioWait *kernel.Event
 	idleEv *kernel.Event // signaled every time the queue drains
+
+	// Per-op state plus the closures that consume it, bound once at app
+	// creation. Ops are executed millions of times per collection, so the
+	// run loop passes these stable funcs to tc.Do instead of constructing a
+	// capture per op.
+	op       Op   // current op, set by popFn
+	ioBytes  int  // fileSync arguments for ioFn
+	ioWrite  bool
+	popFn    func()
+	finishFn func()
+	pfFn     func()
+	uiFn     func()
+	ioFn     func()
+	ioDoneFn func(*kernel.DpcContext)
 }
 
 // NewApp creates an application thread at normal priority.
@@ -45,6 +59,24 @@ func (m *Machine) NewApp(name string) *App {
 		ioWait: m.Kernel.NewEvent(name+".io", kernel.SynchronizationEvent),
 		idleEv: m.Kernel.NewEvent(name+".idle", kernel.NotificationEvent),
 	}
+	a.popFn = func() {
+		a.op = a.queue[0]
+		// Shift down in place: reslicing from the front sheds capacity and
+		// makes every Submit reallocate.
+		n := copy(a.queue, a.queue[1:])
+		a.queue[n] = Op{}
+		a.queue = a.queue[:n]
+	}
+	a.finishFn = func() {
+		a.done++
+		if len(a.queue) == 0 {
+			a.m.Kernel.SetEvent(a.idleEv)
+		}
+	}
+	a.pfFn = func() { a.m.PageFaultBurst(a.op.PageFaultPages) }
+	a.uiFn = a.m.UIEvent
+	a.ioDoneFn = func(c *kernel.DpcContext) { c.SetEvent(a.ioWait) }
+	a.ioFn = func() { a.m.FileOp(a.ioBytes, a.ioWrite, a.ioDoneFn) }
 	a.thread = m.Kernel.CreateThread(name, kernel.NormalPriority, a.run)
 	return a
 }
@@ -72,27 +104,19 @@ func (a *App) IdleEvent() *kernel.Event { return a.idleEv }
 func (a *App) run(tc *kernel.ThreadContext) {
 	for {
 		tc.Wait(a.sem)
-		var op Op
-		tc.Do(func() {
-			op = a.queue[0]
-			a.queue = a.queue[1:]
-		})
-		a.exec(tc, op)
-		tc.Do(func() {
-			a.done++
-			if len(a.queue) == 0 {
-				a.m.Kernel.SetEvent(a.idleEv)
-			}
-		})
+		tc.Do(a.popFn)
+		a.exec(tc)
+		tc.Do(a.finishFn)
 	}
 }
 
-func (a *App) exec(tc *kernel.ThreadContext, op Op) {
+func (a *App) exec(tc *kernel.ThreadContext) {
+	op := a.op
 	if op.PageFaultPages > 0 {
-		tc.Do(func() { a.m.PageFaultBurst(op.PageFaultPages) })
+		tc.Do(a.pfFn)
 	}
 	if op.UI {
-		tc.Do(a.m.UIEvent)
+		tc.Do(a.uiFn)
 		tc.Exec(a.m.MS(0.05)) // message pump handling
 	}
 	if op.ThinkMS > 0 {
@@ -112,11 +136,8 @@ func (a *App) exec(tc *kernel.ThreadContext, op Op) {
 // fileSync performs a blocking file operation: submit through the machine's
 // file-system path and wait for the disk DPC to signal completion.
 func (a *App) fileSync(tc *kernel.ThreadContext, bytes int, write bool) {
-	tc.Do(func() {
-		a.m.FileOp(bytes, write, func(c *kernel.DpcContext) {
-			c.SetEvent(a.ioWait)
-		})
-	})
+	a.ioBytes, a.ioWrite = bytes, write
+	tc.Do(a.ioFn)
 	tc.Wait(a.ioWait)
 	tc.Exec(sim.Cycles(bytes/64) + 2000) // copy to user buffer
 }

@@ -69,6 +69,7 @@ func (m *Machine) StartAudio(cfg AudioConfig) {
 	m.audio = a
 
 	prio := cfg.MixPriority
+	refill := m.Sound.Refill // bind the method value once, not per buffer
 	a.thread = m.Kernel.CreateThread("KMixer", kernel.NormalPriority, func(tc *kernel.ThreadContext) {
 		tc.SetPriority(prio)
 		for {
@@ -76,7 +77,7 @@ func (m *Machine) StartAudio(cfg AudioConfig) {
 			tc.ExecDist(a.mixCost)
 			a.mixes++
 			// Hand the mixed buffer back to the hardware.
-			tc.Do(m.Sound.Refill)
+			tc.Do(refill)
 		}
 	})
 	m.Sound.Start(m.MS(cfg.PeriodMS))

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -10,12 +9,19 @@ import (
 // cancellable event queue. Events scheduled for the same instant fire in
 // FIFO order of scheduling, which keeps runs deterministic.
 //
+// The engine allocates nothing in steady state: fired and cancelled Event
+// records are recycled through a free list, and the queue is a
+// hand-specialized 4-ary heap over a reused slice, so a long-running
+// simulation settles into a fixed working set no matter how many events it
+// dispatches. The price of pooling is a handle discipline — see Event.
+//
 // Engine is not safe for concurrent use; the whole simulator is
 // single-threaded by design (see the kernel package for how simulated
 // threads are multiplexed onto it).
 type Engine struct {
 	now    Time
-	queue  eventHeap
+	queue  []*Event // 4-ary min-heap on (when, seq); see event.go
+	free   []*Event // dead records awaiting reuse
 	seq    uint64
 	nfired uint64
 	rng    *RNG
@@ -44,9 +50,29 @@ func (e *Engine) Fired() uint64 { return e.nfired }
 // Pending returns the number of events currently queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// alloc returns a recycled Event record, or a fresh one if the pool is dry.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// release returns a dead record to the pool. The callback is dropped so the
+// pool does not pin closures (and whatever they capture) alive.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.state = stateDead
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past (before
 // Now) panics: it would silently reorder causality. The label is retained
-// for debugging and tracing.
+// for debugging and tracing; callers on hot paths should pass a precomputed
+// constant, not build one per call.
 func (e *Engine) At(t Time, label string, fn func(Time)) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %d before now %d", label, t, e.now))
@@ -54,9 +80,14 @@ func (e *Engine) At(t Time, label string, fn func(Time)) *Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn, label: label}
+	ev := e.alloc()
+	ev.when = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.label = label
+	ev.state = statePending
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.heapPush(ev)
 	return ev
 }
 
@@ -68,46 +99,57 @@ func (e *Engine) After(d Cycles, label string, fn func(Time)) *Event {
 	return e.At(e.now.Add(d), label, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// already fired or was already cancelled is a no-op and returns false.
+// Cancel removes a pending event from the queue and recycles its record;
+// the caller must drop the handle. Cancelling an event that already fired
+// or was already cancelled is a no-op and returns false.
 func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+	if ev == nil || ev.state != statePending {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.heapRemove(int(ev.index))
+	e.release(ev)
 	return true
 }
 
 // Reschedule moves a pending event to a new absolute time, preserving its
-// callback. If the event is not pending it is re-armed as a fresh event.
+// callback. The event must be pending: records are pooled, so a handle
+// whose event fired or was cancelled may already describe someone else's
+// event, and rescheduling it would corrupt the queue — Reschedule panics
+// instead. Re-arm by scheduling a fresh event.
 func (e *Engine) Reschedule(ev *Event, t Time) {
+	if ev == nil {
+		panic("sim: Reschedule of nil event")
+	}
+	if ev.state != statePending {
+		panic(fmt.Sprintf("sim: Reschedule of dead event %q: it already fired or was cancelled and its record may have been recycled", ev.label))
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: rescheduling %q at %d before now %d", ev.label, t, e.now))
 	}
 	ev.when = t
 	ev.seq = e.seq
 	e.seq++
-	if ev.index >= 0 {
-		heap.Fix(&e.queue, ev.index)
-		return
-	}
-	heap.Push(&e.queue, ev)
+	e.heapFix(int(ev.index))
 }
 
 // Step fires the next pending event, advancing the clock to its timestamp.
-// It returns false when the queue is empty.
+// It returns false when the queue is empty. The record is recycled after
+// the callback returns, giving handle holders that nil their reference
+// inside the callback a race-free window.
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.heapPopMin()
 	if ev.when < e.now {
 		panic("sim: event queue time went backwards")
 	}
 	e.now = ev.when
 	e.nfired++
-	ev.fn(e.now)
+	fn := ev.fn
+	ev.state = stateDead
+	fn(e.now)
+	e.release(ev)
 	return true
 }
 

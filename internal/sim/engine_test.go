@@ -85,12 +85,100 @@ func TestEngineReschedule(t *testing.T) {
 	if at != 50 {
 		t.Fatalf("fired at %d, want 50", at)
 	}
+}
 
-	// Rescheduling a fired event re-arms it.
-	e.Reschedule(ev, 80)
+func TestEngineRescheduleFiredEventPanics(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.At(10, "x", func(Time) {})
 	e.Drain(10)
-	if at != 80 {
-		t.Fatalf("re-armed event fired at %d, want 80", at)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescheduling a fired (recycled) event should panic")
+		}
+	}()
+	e.Reschedule(ev, 80)
+}
+
+func TestEngineCancelThenReschedulePanics(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.At(10, "x", func(Time) {})
+	if !e.Cancel(ev) {
+		t.Fatal("cancel should succeed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescheduling a cancelled (recycled) event should panic")
+		}
+	}()
+	e.Reschedule(ev, 80)
+}
+
+// TestEngineFIFOUnderPooling exercises same-timestamp FIFO ordering across
+// several schedule/fire generations so that every later generation is
+// served entirely from recycled records.
+func TestEngineFIFOUnderPooling(t *testing.T) {
+	e := NewEngine(1)
+	for gen := 0; gen < 5; gen++ {
+		var order []int
+		base := e.Now() + 10
+		evs := make([]*Event, 50)
+		for i := 0; i < 50; i++ {
+			i := i
+			evs[i] = e.At(base, "same", func(Time) { order = append(order, i) })
+		}
+		// Cancel a few mid-queue so their records recycle ahead of the rest.
+		e.Cancel(evs[10])
+		e.Cancel(evs[20])
+		e.RunUntil(base)
+		want := 0
+		for _, v := range order {
+			if v == 10 || v == 20 {
+				t.Fatalf("gen %d: cancelled event %d fired", gen, v)
+			}
+			for want == 10 || want == 20 {
+				want++
+			}
+			if v != want {
+				t.Fatalf("gen %d: fired %v, want FIFO without 10,20", gen, order)
+			}
+			want++
+		}
+		if len(order) != 48 {
+			t.Fatalf("gen %d: fired %d events, want 48", gen, len(order))
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocFree verifies the tentpole contract: once the
+// pool is warm, the schedule-fire cycle performs no heap allocation.
+func TestEngineSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	e := NewEngine(1)
+	var tick func(Time)
+	tick = func(Time) { e.After(100, "tick", tick) }
+	e.After(100, "tick", tick)
+	for i := 0; i < 1000; i++ { // warm up pool and heap slice
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(1000, func() { e.Step() }); avg != 0 {
+		t.Fatalf("steady-state After+Step allocates %v allocs/op, want 0", avg)
+	}
+	// Cancel/re-schedule churn must be allocation-free too.
+	evs := make([]*Event, 64)
+	for i := range evs {
+		evs[i] = e.After(Cycles(1000+i), "churn", func(Time) {})
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		for i := range evs {
+			e.Cancel(evs[i])
+		}
+		for i := range evs {
+			evs[i] = e.After(Cycles(1000+i), "churn", func(Time) {})
+		}
+	}); avg != 0 {
+		t.Fatalf("steady-state Cancel+After allocates %v allocs/op, want 0", avg)
 	}
 }
 

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// The oracle: a straightforward container/heap priority queue over the
+// same (when, seq) key, against which the engine's hand-specialized 4-ary
+// pooled heap must dispatch identically under arbitrary interleavings of
+// schedule, cancel and reschedule.
+
+type oracleItem struct {
+	when  Time
+	seq   uint64
+	id    int
+	index int // heap index, -1 when removed
+}
+
+type oracleHeap []*oracleItem
+
+func (h oracleHeap) Len() int { return len(h) }
+func (h oracleHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oracleHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *oracleHeap) Push(x any) {
+	it := x.(*oracleItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *oracleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// TestEngineHeapMatchesOracle drives the engine and the oracle through the
+// same random interleaving of schedule/cancel/reschedule/step operations
+// and requires the dispatch order (event ids, timestamps) to be identical.
+func TestEngineHeapMatchesOracle(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := NewRNG(uint64(trial + 1))
+		e := NewEngine(1)
+
+		var oq oracleHeap
+		var oseq uint64
+		onow := Time(0)
+
+		var engFired, oraFired []int
+		var engTimes, oraTimes []Time
+
+		// Live handles, kept in sync between engine and oracle by id.
+		type livePair struct {
+			ev *Event
+			it *oracleItem
+		}
+		live := map[int]livePair{}
+		nextID := 0
+
+		oracleStep := func() {
+			it := heap.Pop(&oq).(*oracleItem)
+			if it.when > onow {
+				onow = it.when
+			}
+			oraFired = append(oraFired, it.id)
+			oraTimes = append(oraTimes, onow)
+			delete(live, it.id)
+		}
+
+		for op := 0; op < 5000; op++ {
+			switch r := rng.Intn(100); {
+			case r < 45: // schedule
+				d := Cycles(rng.Intn(1000)) // delay 0 allowed: same-timestamp FIFO
+				id := nextID
+				nextID++
+				ev := e.After(d, "prop", func(now Time) {
+					engFired = append(engFired, id)
+					engTimes = append(engTimes, now)
+					delete(live, id)
+				})
+				it := &oracleItem{when: onow.Add(d), seq: oseq, id: id}
+				oseq++
+				heap.Push(&oq, it)
+				live[id] = livePair{ev: ev, it: it}
+			case r < 60: // cancel a random live event
+				for id, p := range live { // first map hit is fine: both sides mirror it
+					if !e.Cancel(p.ev) {
+						t.Fatalf("trial %d op %d: cancel of live event %d failed", trial, op, id)
+					}
+					heap.Remove(&oq, p.it.index)
+					delete(live, id)
+					break
+				}
+			case r < 75: // reschedule a random live event
+				for id, p := range live {
+					d := Cycles(rng.Intn(1000))
+					e.Reschedule(p.ev, e.Now().Add(d))
+					p.it.when = onow.Add(d)
+					p.it.seq = oseq
+					oseq++
+					heap.Fix(&oq, p.it.index)
+					_ = id
+					break
+				}
+			default: // step
+				if e.Pending() != oq.Len() {
+					t.Fatalf("trial %d op %d: pending %d vs oracle %d", trial, op, e.Pending(), oq.Len())
+				}
+				if e.Pending() > 0 {
+					e.Step()
+					oracleStep()
+				}
+			}
+		}
+		for e.Pending() > 0 {
+			e.Step()
+			oracleStep()
+		}
+
+		if len(engFired) != len(oraFired) {
+			t.Fatalf("trial %d: engine fired %d events, oracle %d", trial, len(engFired), len(oraFired))
+		}
+		for i := range engFired {
+			if engFired[i] != oraFired[i] || engTimes[i] != oraTimes[i] {
+				t.Fatalf("trial %d: dispatch %d diverges: engine (%d@%d) oracle (%d@%d)",
+					trial, i, engFired[i], engTimes[i], oraFired[i], oraTimes[i])
+			}
+		}
+	}
+}

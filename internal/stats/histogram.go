@@ -9,6 +9,8 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/big"
+	"math/bits"
 
 	"wdmlat/internal/sim"
 )
@@ -47,16 +49,87 @@ func NewHistogram(freq sim.Freq) *Histogram {
 // Freq returns the histogram's clock frequency.
 func (h *Histogram) Freq() sim.Freq { return h.freq }
 
-// bucketIndex maps a value to its bucket. Values < 1 go to the underflow
-// bucket 0; values beyond the top octave go to the overflow bucket.
+// bucketEdges[i] is the inclusive integer lower edge of bucket i in cycles:
+// the smallest integer >= 2^((i-1)/bucketsPerOctave). Edges are computed
+// once, exactly, in integer arithmetic — the old per-call
+// math.Log2/math.Exp2 formulation both paid a transcendental call per
+// sample and could drift a value across a bucket boundary when the float
+// rounding of lg*bucketsPerOctave landed on the wrong side of an integer.
+// bucketEdges[0] is 0 (underflow) and bucketEdges[numBuckets+1] is the
+// overflow edge 1<<octaves.
+var bucketEdges [numBuckets + 2]uint64
+
+// smallIdx[u] is the bucket index of u for u in [1,32) — the low octaves
+// where integer edges collide and a direct table is both simplest and
+// exact. smallIdx[0] is unused (values < 1 underflow before the lookup).
+var smallIdx [32]uint8
+
+// subGuess[m] is a lower bound for the sub-octave bucket of any value
+// whose five mantissa bits below the leading 1 are m, valid in every
+// octave k >= 5: subGuess[m] = max{ j : 2^(j/16) <= 1 + m/32 }. For a
+// value u with mantissa m in octave k, u >= 2^(k-5)(32+m) >=
+// ceil(2^(k+j/16)) so edge[subGuess[m]] is always <= u, and because a
+// 1/32 mantissa step spans less than one 2^(1/16) bucket ratio the true
+// sub-bucket is subGuess[m] or subGuess[m]+1 — resolved by a single edge
+// comparison in bucketIndex.
+var subGuess [32]uint8
+
+func init() {
+	for i := 1; i <= numBuckets+1; i++ {
+		bucketEdges[i] = exactEdge(i - 1)
+	}
+	for u := uint64(1); u < 32; u++ {
+		i := 1
+		for bucketEdges[i+1] <= u {
+			i++
+		}
+		smallIdx[u] = uint8(i)
+	}
+	// max{ j : 2^(j/16) <= 1+m/32 } = max{ j : 2^(80+j) <= (32+m)^16 },
+	// computed exactly in integers: (32+m)^16 >= 2^(80+j) iff its bit
+	// length is at least 81+j.
+	for m := int64(0); m < 32; m++ {
+		x := new(big.Int).Exp(big.NewInt(32+m), big.NewInt(16), nil)
+		subGuess[m] = uint8(x.BitLen() - 81)
+	}
+}
+
+// exactEdge returns ceil(2^(n/bucketsPerOctave)) computed exactly. For
+// n = 16k the edge is the integer 1<<k. Otherwise 2^(n/16) is irrational,
+// so its ceiling is r+1 where r is the integer 16th root of 2^n — taken as
+// four nested integer square roots, which preserve the floor at each step.
+func exactEdge(n int) uint64 {
+	k, j := n/bucketsPerOctave, n%bucketsPerOctave
+	if j == 0 {
+		return 1 << uint(k)
+	}
+	x := new(big.Int).Lsh(big.NewInt(1), uint(n))
+	for i := 0; i < 4; i++ {
+		x.Sqrt(x)
+	}
+	return x.Uint64() + 1
+}
+
+// bucketIndex maps a value to its bucket: the octave comes from the bit
+// length of v, the sub-octave from the subGuess mantissa table plus at
+// most one exact-edge comparison (values below 32 use the direct
+// smallIdx table). Values < 1 go to the underflow bucket 0; values
+// beyond the top octave go to the overflow bucket.
 func bucketIndex(v sim.Cycles) int {
 	if v < 1 {
 		return 0
 	}
-	lg := math.Log2(float64(v))
-	i := 1 + int(lg*bucketsPerOctave)
-	if i > numBuckets {
+	u := uint64(v)
+	if u < 32 {
+		return int(smallIdx[u])
+	}
+	k := uint(bits.Len64(u)) - 1
+	if k >= octaves {
 		return numBuckets + 1
+	}
+	i := 1 + int(k)*bucketsPerOctave + int(subGuess[(u>>(k-5))&31])
+	if u >= bucketEdges[i+1] {
+		i++
 	}
 	return i
 }
@@ -71,7 +144,7 @@ func bucketLow(i int) sim.Cycles {
 	if i > numBuckets {
 		i = numBuckets + 1
 	}
-	return sim.Cycles(math.Ceil(math.Exp2(float64(i-1) / bucketsPerOctave)))
+	return sim.Cycles(bucketEdges[i])
 }
 
 // Add records one latency sample. Negative samples panic: a latency cannot

@@ -140,27 +140,39 @@ func (g *Generator) Stop() {
 	}
 }
 
-// after schedules fn once after a mean-exponential delay, if still running.
-func (g *Generator) after(mean float64, label string, fn func()) {
+// delay draws one mean-exponential spacing (mean in ms) in cycles.
+func (g *Generator) delay(mean float64) sim.Cycles {
 	d := sim.Cycles(g.rng.Exp(float64(g.m.MS(mean))))
 	if d < 1 {
 		d = 1
 	}
-	g.m.Eng.After(d, label, func(sim.Time) {
+	return d
+}
+
+// after schedules fn once after a mean-exponential delay, if still running.
+func (g *Generator) after(mean float64, label string, fn func()) {
+	g.m.Eng.After(g.delay(mean), label, func(sim.Time) {
 		if g.on {
 			fn()
 		}
 	})
 }
 
-// loop schedules fn repeatedly with mean-exponential spacing (ms).
+// loop schedules fn repeatedly with mean-exponential spacing (ms). The tick
+// closure is allocated once per loop and re-armed on each firing, not
+// wrapped anew per event: generators keep a dozen loops ticking for the
+// whole collection, so per-firing closures would dominate the allocation
+// profile.
 func (g *Generator) loop(mean float64, label string, fn func()) {
-	var tick func()
-	tick = func() {
+	var tick func(sim.Time)
+	tick = func(sim.Time) {
+		if !g.on {
+			return
+		}
 		fn()
-		g.after(mean, label, tick)
+		g.m.Eng.After(g.delay(mean), label, tick)
 	}
-	g.after(mean, label, tick)
+	g.m.Eng.After(g.delay(mean), label, tick)
 }
 
 // --- Business Winstone 97 ---------------------------------------------------
