@@ -10,11 +10,11 @@ GO ?= go
 BASE ?= BENCH_0.json
 NEW  ?= BENCH_1.json
 
-.PHONY: all check vet build test race substrate smoke bench bench-smoke bench-compare reproduce clean
+.PHONY: all check vet build test race substrate failure-paths smoke resume-smoke bench bench-smoke bench-compare reproduce clean
 
 all: check
 
-check: vet build test race substrate
+check: vet build test race substrate failure-paths
 
 vet:
 	$(GO) vet ./...
@@ -36,11 +36,39 @@ substrate:
 	$(GO) test -race -run 'TestEngineHeapMatchesOracle|TestEngineFIFOUnderPooling' ./internal/sim/
 	$(GO) test -run 'TestEngineSteadyStateAllocFree' ./internal/sim/
 
+# failure-paths: the campaign runner's fault-tolerance suite under -race —
+# panic isolation, graceful cancellation with checkpoint flush, resume
+# byte-identity, and the collect-twice / callback-ordering regressions.
+# These tests interleave cancellation with worker publication, so the race
+# detector is load-bearing here, not belt-and-braces.
+failure-paths:
+	$(GO) test -race -run 'TestPanicking|TestCancelled|TestResume|TestCollectTwice|TestOnCellDone|TestCheckpointRestore' ./internal/campaign/...
+
 # smoke: a fast end-to-end pass of the full reproduction pipeline on the
 # parallel campaign runner. Artifacts land in a scratch directory (not
 # results/, which holds the full-length record).
 smoke:
 	$(GO) run ./cmd/reproduce -duration 5s -jobs 4 -outdir results-smoke
+
+# resume-smoke: kill a checkpointed campaign mid-flight with SIGINT, resume
+# it from the checkpoint store, and demand the resumed artifacts be
+# byte-identical to an uninterrupted run at a different worker count. The
+# interrupted invocation exits non-zero by design (timeout reports 124), so
+# it is prefixed with `-`. Timings: the full campaign takes ~7 s of wall
+# clock at -jobs 2, so a 3 s SIGINT lands mid-campaign with some cells
+# checkpointed and some cancelled.
+resume-smoke:
+	rm -rf results-resume-smoke
+	mkdir -p results-resume-smoke
+	$(GO) build -o results-resume-smoke/reproduce ./cmd/reproduce
+	-timeout -s INT 3 results-resume-smoke/reproduce -duration 150s -runs 2 -jobs 2 \
+		-checkpoint results-resume-smoke/ckpt -outdir results-resume-smoke/resumed
+	results-resume-smoke/reproduce -duration 150s -runs 2 -jobs 2 \
+		-checkpoint results-resume-smoke/ckpt -outdir results-resume-smoke/resumed
+	results-resume-smoke/reproduce -duration 150s -runs 2 -jobs 4 \
+		-outdir results-resume-smoke/full
+	diff -r results-resume-smoke/resumed results-resume-smoke/full
+	@echo "resume-smoke: resumed artifacts byte-identical to uninterrupted run"
 
 # bench: record the substrate and experiment benchmarks into $(NEW). Compare
 # against the committed pre-optimisation baseline $(BASE) with bench-compare.
@@ -64,4 +92,4 @@ reproduce:
 	$(GO) run ./cmd/reproduce -duration 30m -runs 3
 
 clean:
-	rm -rf results-smoke
+	rm -rf results-smoke results-resume-smoke

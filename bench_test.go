@@ -439,8 +439,11 @@ func BenchmarkCampaignMatrix(b *testing.B) {
 	var samples uint64
 	for i := 0; i < b.N; i++ {
 		run := campaign.New(campaign.Options{BaseSeed: uint64(i + 1)})
-		byOS := run.RunMatrix(oses, workload.Classes, "bench",
+		byOS, err := run.RunMatrix(oses, workload.Classes, "bench",
 			core.RunConfig{Duration: benchDur}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
 		samples = 0
 		for _, byClass := range byOS {
 			for _, r := range byClass {

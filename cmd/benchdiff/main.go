@@ -148,6 +148,46 @@ func parseMetrics(fields []string) (benchResult, bool) {
 	return r, r.hasNs
 }
 
+// rowVerdict is the policy outcome for one benchmark: the formatted table
+// cells plus any failure lines the row contributes to the gate.
+type rowVerdict struct {
+	speedup  string
+	allocs   string
+	status   string
+	failures []string
+}
+
+// compareRow applies the regression policy to one benchmark pair. A zero
+// ns/op baseline carries no information (a sub-resolution or degenerate
+// record), so the speedup column reads "n/a" and the time gate is skipped
+// for that row rather than producing an Inf/NaN ratio and a spurious
+// verdict. The allocs gate is ratio-free and always applies.
+func compareRow(name string, b, n benchResult, maxRegress float64) rowVerdict {
+	var v rowVerdict
+	v.speedup = "n/a"
+	if b.NsPerOp > 0 {
+		if n.NsPerOp > 0 {
+			v.speedup = fmt.Sprintf("%.2fx", b.NsPerOp/n.NsPerOp)
+		}
+		if n.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			v.status = "  REGRESSION(time)"
+			v.failures = append(v.failures, fmt.Sprintf(
+				"%s: %.4g -> %.4g ns/op (%.1f%% slower, limit %.0f%%)",
+				name, b.NsPerOp, n.NsPerOp,
+				(n.NsPerOp/b.NsPerOp-1)*100, maxRegress*100))
+		}
+	}
+	if b.hasAlloc || n.hasAlloc {
+		v.allocs = fmt.Sprintf("%.0f -> %.0f", b.AllocsOp, n.AllocsOp)
+		if n.AllocsOp > b.AllocsOp {
+			v.status += "  REGRESSION(allocs)"
+			v.failures = append(v.failures, fmt.Sprintf(
+				"%s: allocs/op grew %.0f -> %.0f", name, b.AllocsOp, n.AllocsOp))
+		}
+	}
+	return v
+}
+
 func main() {
 	base := flag.String("base", "BENCH_0.json", "baseline bench record")
 	newer := flag.String("new", "BENCH_1.json", "candidate bench record")
@@ -182,30 +222,11 @@ func main() {
 		"benchmark", "base ns/op", "new ns/op", "speedup", "allocs/op")
 	var failures []string
 	for _, name := range names {
-		b, n := baseRes[name], newRes[name]
-		speedup := 0.0
-		if n.NsPerOp > 0 {
-			speedup = b.NsPerOp / n.NsPerOp
-		}
-		status := ""
-		if n.NsPerOp > b.NsPerOp*(1+*maxRegress) {
-			status = "  REGRESSION(time)"
-			failures = append(failures, fmt.Sprintf(
-				"%s: %.4g -> %.4g ns/op (%.1f%% slower, limit %.0f%%)",
-				name, b.NsPerOp, n.NsPerOp,
-				(n.NsPerOp/b.NsPerOp-1)*100, *maxRegress*100))
-		}
-		allocs := ""
-		if b.hasAlloc || n.hasAlloc {
-			allocs = fmt.Sprintf("%.0f -> %.0f", b.AllocsOp, n.AllocsOp)
-			if n.AllocsOp > b.AllocsOp {
-				status += "  REGRESSION(allocs)"
-				failures = append(failures, fmt.Sprintf(
-					"%s: allocs/op grew %.0f -> %.0f", name, b.AllocsOp, n.AllocsOp))
-			}
-		}
-		fmt.Printf("%-52s %14.4g %14.4g %7.2fx %16s%s\n",
-			name, b.NsPerOp, n.NsPerOp, speedup, allocs, status)
+		v := compareRow(name, baseRes[name], newRes[name], *maxRegress)
+		failures = append(failures, v.failures...)
+		fmt.Printf("%-52s %14.4g %14.4g %8s %16s%s\n",
+			name, baseRes[name].NsPerOp, newRes[name].NsPerOp,
+			v.speedup, v.allocs, v.status)
 	}
 
 	fmt.Printf("\n%d benchmarks compared (%s -> %s)\n", len(names), *base, *newer)

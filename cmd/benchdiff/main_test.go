@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func res(ns float64, allocs float64, hasAlloc bool) benchResult {
+	return benchResult{NsPerOp: ns, AllocsOp: allocs, hasNs: true, hasAlloc: hasAlloc}
+}
+
+// A 0 ns/op baseline must not produce an Inf/NaN ratio, a garbage speedup
+// column, or a spurious time-regression verdict.
+func TestCompareRowZeroBaseline(t *testing.T) {
+	v := compareRow("BenchmarkX", res(0, 0, false), res(57.3, 0, false), 0.10)
+	if v.speedup != "n/a" {
+		t.Errorf("speedup = %q, want n/a", v.speedup)
+	}
+	if len(v.failures) != 0 || v.status != "" {
+		t.Errorf("zero baseline flagged a regression: status %q, failures %v",
+			v.status, v.failures)
+	}
+	for _, cell := range []string{v.speedup, v.allocs, v.status} {
+		if strings.Contains(cell, "Inf") || strings.Contains(cell, "NaN") {
+			t.Errorf("cell %q leaks a degenerate ratio", cell)
+		}
+	}
+}
+
+// Both sides zero: still no verdict, still "n/a".
+func TestCompareRowBothZero(t *testing.T) {
+	v := compareRow("BenchmarkX", res(0, 0, false), res(0, 0, false), 0.10)
+	if v.speedup != "n/a" || len(v.failures) != 0 {
+		t.Errorf("both-zero row: speedup %q failures %v", v.speedup, v.failures)
+	}
+}
+
+// Zero new time with a real baseline: the ratio would be +Inf, so the column
+// reads "n/a"; a faster benchmark is never a regression.
+func TestCompareRowZeroNew(t *testing.T) {
+	v := compareRow("BenchmarkX", res(42, 0, false), res(0, 0, false), 0.10)
+	if v.speedup != "n/a" || len(v.failures) != 0 {
+		t.Errorf("zero-new row: speedup %q failures %v", v.speedup, v.failures)
+	}
+}
+
+// The zero-baseline guard must not mask real regressions elsewhere.
+func TestCompareRowTimeRegressionStillCaught(t *testing.T) {
+	v := compareRow("BenchmarkY", res(100, 2, true), res(150, 2, true), 0.10)
+	if !strings.Contains(v.status, "REGRESSION(time)") || len(v.failures) != 1 {
+		t.Fatalf("50%% slowdown not flagged: status %q failures %v", v.status, v.failures)
+	}
+	if !strings.Contains(v.failures[0], "BenchmarkY") {
+		t.Errorf("failure line missing benchmark name: %q", v.failures[0])
+	}
+	if v.speedup != "0.67x" {
+		t.Errorf("speedup = %q, want 0.67x", v.speedup)
+	}
+}
+
+// The allocs gate is ratio-free and applies even when the time baseline is
+// zero — alloc growth must still fail the gate.
+func TestCompareRowAllocRegressionWithZeroTimeBaseline(t *testing.T) {
+	v := compareRow("BenchmarkZ", res(0, 0, true), res(10, 3, true), 0.10)
+	if !strings.Contains(v.status, "REGRESSION(allocs)") || len(v.failures) != 1 {
+		t.Fatalf("alloc growth not flagged: status %q failures %v", v.status, v.failures)
+	}
+	if v.speedup != "n/a" {
+		t.Errorf("speedup = %q, want n/a", v.speedup)
+	}
+	if v.allocs != "0 -> 3" {
+		t.Errorf("allocs cell = %q, want 0 -> 3", v.allocs)
+	}
+}
+
+// Within-tolerance slowdown passes.
+func TestCompareRowWithinTolerance(t *testing.T) {
+	v := compareRow("BenchmarkW", res(100, 1, true), res(105, 1, true), 0.10)
+	if len(v.failures) != 0 || v.status != "" {
+		t.Errorf("5%% slowdown should pass: status %q failures %v", v.status, v.failures)
+	}
+	if v.speedup != "0.95x" {
+		t.Errorf("speedup = %q, want 0.95x", v.speedup)
+	}
+}

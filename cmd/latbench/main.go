@@ -7,7 +7,13 @@
 // Usage:
 //
 //	latbench [-os both|all] [-workload all] [-duration 10m] [-seed 1]
-//	         [-runs N] [-scanner] [-sound] [-csv] [-oracle] [-config]
+//	         [-runs N] [-jobs N] [-checkpoint dir] [-scanner] [-sound]
+//	         [-csv] [-oracle] [-config]
+//
+// With -checkpoint, every finished cell is persisted under dir and a
+// re-run skips cells already completed; SIGINT/SIGTERM stops dispatching
+// new cells, drains the running ones into the store, and exits non-zero
+// naming the cells that were dropped.
 package main
 
 import (
@@ -37,6 +43,7 @@ func main() {
 	runs := flag.Int("runs", 1, "independent replicas to pool per cell (deepens tails)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	oracle := flag.Bool("oracle", false, "plot ground-truth DPC-interrupt latency instead of the tool's estimate")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	flag.Parse()
 
 	if *config {
@@ -58,9 +65,16 @@ func main() {
 	if *sound {
 		variant += "+sound"
 	}
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	st, err := cli.OpenStore(*checkpoint)
+	fatal(err)
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
 	base := core.RunConfig{Duration: *duration, VirusScanner: *scanner, SoundScheme: *sound}
-	byOS := run.RunMatrix(oses, classes, variant, base, *runs)
+	byOS, err := run.RunMatrix(oses, classes, variant, base, *runs)
+	if err != nil {
+		cli.FailCampaign("latbench", run, err)
+	}
 
 	for _, osSel := range oses {
 		// One Figure 4 panel set per OS: DPC-interrupt latency plus the
@@ -113,6 +127,12 @@ func main() {
 		fmt.Println()
 		fatal(report.WriteLogLog(os.Stdout,
 			fmt.Sprintf("%s Kernel Mode Thread (RT Priority 24) Latency in Millisecs (Figure 4)", osName), t24Series))
+	}
+	// Every cell was collected above; a residual Wait error means the
+	// checkpoint store could not persist something — fail loudly, or the
+	// next resume would silently re-run those cells.
+	if err := run.Wait(); err != nil {
+		cli.FailCampaign("latbench", run, err)
 	}
 }
 

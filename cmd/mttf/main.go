@@ -36,6 +36,7 @@ func main() {
 	runs := flag.Int("runs", 1, "independent replicas to pool per workload (deepens tails)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	validate := flag.Bool("validate", false, "cross-check one point per class against direct datapump simulation")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	flag.Parse()
 
 	osSel, err := cli.ParseOS(*osFlag)
@@ -61,9 +62,16 @@ func main() {
 
 	// The per-class measurement cells are independent: fan them out across
 	// the campaign pool, then sweep the analytic curves in class order.
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
-	byOS := run.RunMatrix([]ospersona.OS{osSel}, workload.Classes, "mttf",
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	st, err := cli.OpenStore(*checkpoint)
+	fatal(err)
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
+	byOS, err := run.RunMatrix([]ospersona.OS{osSel}, workload.Classes, "mttf",
 		core.RunConfig{Duration: *duration}, *runs)
+	if err != nil {
+		cli.FailCampaign("mttf", run, err)
+	}
 
 	curves := make(map[workload.Class][]mttf.Point)
 	for _, wl := range workload.Classes {
@@ -79,6 +87,9 @@ func main() {
 	fatal(figures.MTTFTable(curves, "").Write(os.Stdout))
 	fmt.Println("\n('>' marks censored points: no event beyond that slack was observed;")
 	fmt.Println(" the value is the lower bound supported by the collection span.)")
+	if err := run.Wait(); err != nil {
+		cli.FailCampaign("mttf", run, err)
+	}
 }
 
 // pickDistribution matches the datapump's modality to the latency it waits

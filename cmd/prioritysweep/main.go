@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"wdmlat/internal/campaign"
+	"wdmlat/internal/cli"
 	"wdmlat/internal/core"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/report"
@@ -26,6 +27,7 @@ func main() {
 	duration := flag.Duration("duration", 3*time.Minute, "virtual collection per priority")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	flag.Parse()
 
 	wl := workload.Business
@@ -47,7 +49,14 @@ func main() {
 
 	// Every (priority, OS) point is an independent cell: submit the whole
 	// sweep up front and collect in print order.
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	st, err := cli.OpenStore(*checkpoint)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prioritysweep:", err)
+		os.Exit(1)
+	}
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
 	key := func(osSel ospersona.OS, p int) string {
 		return campaign.MatrixKey(osSel, wl, fmt.Sprintf("prio-%d", p))
 	}
@@ -71,7 +80,10 @@ func main() {
 	for _, p := range prios {
 		row := []string{fmt.Sprintf("%d", p)}
 		for _, osSel := range oses {
-			r := run.Merged(key(osSel, p), 1)
+			r, err := run.Merged(key(osSel, p), 1)
+			if err != nil {
+				cli.FailCampaign("prioritysweep", run, err)
+			}
 			h := r.Thread[p]
 			row = append(row,
 				fmt.Sprintf("%.2f", r.Freq.Millis(h.Max())),
@@ -87,4 +99,7 @@ func main() {
 	fmt.Println("magnitude once the measurement thread clears 24 — while Windows 98 is flat")
 	fmt.Println("across the band: its scheduler-locked windows stall every priority equally,")
 	fmt.Println("so no priority buys a Win98 driver its way out (§4.2, §6).")
+	if err := run.Wait(); err != nil {
+		cli.FailCampaign("prioritysweep", run, err)
+	}
 }

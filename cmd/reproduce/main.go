@@ -9,6 +9,13 @@
 // complete. Runs are deterministic for a given -seed, and because per-cell
 // seeds are derived from the cell key (never from scheduling order), the
 // artifacts are byte-identical for every -jobs value.
+//
+// With -checkpoint dir, every finished cell is persisted under dir, and a
+// re-run of the same campaign skips cells already completed — a killed
+// multi-hour matrix resumes instead of restarting, with byte-identical
+// artifacts. SIGINT/SIGTERM cancels gracefully: no new cells are
+// dispatched, running cells drain into the store, and the process exits
+// non-zero naming the cells it had to drop.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"wdmlat/internal/campaign"
+	"wdmlat/internal/cli"
 	"wdmlat/internal/core"
 	"wdmlat/internal/figures"
 	"wdmlat/internal/interactive"
@@ -42,6 +50,7 @@ func main() {
 	outdir := flag.String("outdir", "results", "artifact directory")
 	runs := flag.Int("runs", 1, "replicas pooled per cell")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -52,7 +61,14 @@ func main() {
 	// --- Submit the whole campaign up front ---------------------------------
 	// Every core.Run cell of every artifact goes to one bounded pool; the
 	// emission code below blocks only on the cells each artifact needs.
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	st, err := cli.OpenStore(*checkpoint)
+	if err != nil {
+		fail(err)
+	}
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
+	failedRun = run
 	base := core.RunConfig{Duration: *duration}
 
 	step("campaign: %d cells x %d replicas on %d workers (%v virtual per cell)",
@@ -115,7 +131,11 @@ func main() {
 	for _, osSel := range oses {
 		byOS[osSel] = map[workload.Class]*core.Result{}
 		for _, wl := range workload.Classes {
-			byOS[osSel][wl] = run.Merged(campaign.MatrixKey(osSel, wl, "default"), *runs)
+			res, err := run.Merged(campaign.MatrixKey(osSel, wl, "default"), *runs)
+			if err != nil {
+				cli.FailCampaign("reproduce", run, err)
+			}
+			byOS[osSel][wl] = res
 		}
 	}
 
@@ -181,7 +201,10 @@ func main() {
 	// --- Figure 5: virus scanner --------------------------------------------
 	step("Figure 5 (virus scanner)")
 	emit(*outdir, "figure5_scanner.txt", func(w io.Writer) error {
-		dirty := run.Merged(scannerKey, *runs)
+		dirty, err := run.Merged(scannerKey, *runs)
+		if err != nil {
+			return err
+		}
 		clean := byOS[ospersona.Win98][workload.Business]
 		at := dirty.Freq.FromMillis(15)
 		fmt.Fprintf(w, "Figure 5: Effect of the Virus Scanner on RT Thread Latency (Win98, Business)\n\n")
@@ -215,7 +238,10 @@ func main() {
 	// --- Table 4: cause tool ---------------------------------------------------
 	step("Table 4 (cause tool)")
 	emit(*outdir, "table4_causetool.txt", func(w io.Writer) error {
-		r := run.Result(causeKey)
+		r, err := run.Result(causeKey)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "Table 4: Cause Tool Output, Win98 w. Biz Apps, Default Sound Scheme (%d episodes)\n\n", len(r.Episodes))
 		n := len(r.Episodes)
 		if n > 4 {
@@ -292,13 +318,19 @@ func main() {
 		return t.Write(w)
 	})
 
-	run.Wait()
+	if err := run.Wait(); err != nil {
+		cli.FailCampaign("reproduce", run, err)
+	}
 	fmt.Printf("done in %v; artifacts in %s/\n", time.Since(start).Round(time.Second), *outdir)
 }
 
 func step(format string, args ...any) {
 	fmt.Printf("== "+format+"\n", args...)
 }
+
+// failedRun lets emit's error path drain the campaign before exiting, so
+// an interrupted reproduce still flushes its running cells' checkpoints.
+var failedRun *campaign.Runner
 
 func emit(dir, name string, fn func(io.Writer) error) {
 	f, err := os.Create(filepath.Join(dir, name))
@@ -307,6 +339,9 @@ func emit(dir, name string, fn func(io.Writer) error) {
 	}
 	defer f.Close()
 	if err := fn(f); err != nil {
+		if failedRun != nil {
+			cli.FailCampaign("reproduce", failedRun, err)
+		}
 		fail(err)
 	}
 	fmt.Printf("   wrote %s\n", filepath.Join(dir, name))

@@ -31,6 +31,7 @@ func main() {
 	scanner := flag.Bool("scanner", false, "install the Plus! 98 virus scanner")
 	runs := flag.Int("runs", 1, "independent replicas to pool per workload (deepens tails)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	flag.Parse()
 
 	osSel, err := cli.ParseOS(*osFlag)
@@ -43,9 +44,19 @@ func main() {
 	if *scanner {
 		variant = "scanner"
 	}
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs})
-	byOS := run.RunMatrix([]ospersona.OS{osSel}, workload.Classes, variant,
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	st, err := cli.OpenStore(*checkpoint)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worstcase:", err)
+		os.Exit(1)
+	}
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
+	byOS, err := run.RunMatrix([]ospersona.OS{osSel}, workload.Classes, variant,
 		core.RunConfig{Duration: *duration, VirusScanner: *scanner}, *runs)
+	if err != nil {
+		cli.FailCampaign("worstcase", run, err)
+	}
 	results := byOS[osSel]
 
 	name := ospersona.ProfileFor(osSel).Name
@@ -55,5 +66,8 @@ func main() {
 	if err := figures.Table3(results, title).Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "worstcase:", err)
 		os.Exit(1)
+	}
+	if err := run.Wait(); err != nil {
+		cli.FailCampaign("worstcase", run, err)
 	}
 }

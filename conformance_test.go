@@ -46,8 +46,11 @@ func TestPaperConformance(t *testing.T) {
 	oses := []ospersona.OS{ospersona.NT4, ospersona.Win98}
 
 	run := campaign.New(campaign.Options{BaseSeed: conformanceSeed})
-	byOS := run.RunMatrix(oses, workload.Classes, "conformance",
+	byOS, err := run.RunMatrix(oses, workload.Classes, "conformance",
 		core.RunConfig{Duration: conformanceDur}, conformanceRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Worst-case latencies in milliseconds, per OS × class.
 	dpc := map[ospersona.OS]map[workload.Class]float64{}

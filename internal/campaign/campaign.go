@@ -1,7 +1,8 @@
 // Package campaign orchestrates measurement campaigns: it fans the
 // paper's independent measurement cells (OS personality × stress class ×
 // variant × replica) out across a bounded worker pool while preserving
-// byte-for-byte determinism.
+// byte-for-byte determinism, and keeps multi-hour campaigns alive through
+// partial failure, cancellation, and process death.
 //
 // The determinism contract is the point of the package. Every Cell carries
 // a stable string key, and the cell's seed is derived from the campaign's
@@ -13,20 +14,61 @@
 // paper's replication methodology (hours of collection per class, §3.1)
 // then parallelizes freely: replicas of one cell are just sibling cells
 // keyed "<cell>/0", "<cell>/1", ... and are pooled in replica order.
+//
+// The fault-tolerance contract builds on the same property. A panicking
+// cell is recovered and published as a failure (key, error, stack) instead
+// of deadlocking collection; a cancelled campaign (Options.Context) stops
+// dispatching queued cells, drains the running ones, and publishes the
+// rest as cancelled; and with Options.Store each finished cell is
+// checkpointed on disk under a content fingerprint, so re-submitting the
+// same campaign against the same store replays completed cells and
+// re-runs only the missing ones — producing artifacts byte-identical to
+// an uninterrupted run, because each cell's result never depended on
+// which process computed it.
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
+	"wdmlat/internal/campaign/store"
 	"wdmlat/internal/core"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/sim"
 	"wdmlat/internal/workload"
 )
+
+// ErrCancelled marks cells that were never dispatched because the
+// campaign's context was cancelled. Test with errors.Is on the error
+// returned by Result/Merged/Wait.
+var ErrCancelled = errors.New("cell cancelled")
+
+// PanicError is the failure recorded for a cell whose execution panicked.
+// The campaign continues past it; collecting the cell reports this error
+// instead of deadlocking.
+type PanicError struct {
+	Key   string // the failed cell
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Failure is one failed cell: its key and what went wrong (a *PanicError
+// for panics, an ErrCancelled-wrapped error for cancelled cells).
+type Failure struct {
+	Key string
+	Err error
+}
 
 // Cell is one independent measurement: a run configuration plus the stable
 // identity its seed is derived from. Key is conventionally
@@ -46,10 +88,31 @@ type Options struct {
 	// Jobs bounds the number of concurrently executing cells; <= 0 means
 	// runtime.GOMAXPROCS(0).
 	Jobs int
-	// OnCellDone, if non-nil, is invoked from worker goroutines as each
-	// cell completes (progress reporting). It must be safe for concurrent
-	// use and must not block for long.
+	// OnCellDone, if non-nil, is invoked as each cell's outcome is
+	// published — after the result (or failure) is visible to Result, and
+	// outside the runner lock, so the callback may itself call Result or
+	// read completion counts. It fires for successful, failed, and
+	// checkpoint-restored cells (not for cells cancelled before dispatch),
+	// from worker goroutines: it must be safe for concurrent use and must
+	// not block for long.
 	OnCellDone func(key string)
+	// Context, if non-nil, cancels the campaign: queued cells stop being
+	// dispatched and are published as failed with ErrCancelled, while
+	// cells already executing drain to completion (and checkpoint, if a
+	// Store is attached). Collection then returns errors for the
+	// cancelled cells instead of blocking forever.
+	Context context.Context
+	// Store, if non-nil, checkpoints every successfully finished cell and
+	// lets Submit satisfy cells from prior runs: a submitted cell whose
+	// fingerprint (base seed, key, canonical config, codec version) is
+	// already stored is published immediately from disk and never
+	// dispatched.
+	Store *store.Store
+	// Execute overrides the cell executor, core.Run. Tests use it to
+	// inject panics, cancellation windows, and cheap fake cells; leave
+	// nil for real campaigns. It must stay a pure function of its config
+	// or the determinism contract is void.
+	Execute func(core.RunConfig) *core.Result
 }
 
 // Runner executes submitted cells on a bounded worker pool. Submit all
@@ -59,18 +122,21 @@ type Options struct {
 type Runner struct {
 	opts Options
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []*pending          // FIFO of not-yet-started cells
-	cells map[string]*pending // every submitted cell, by key
-	live  int                 // worker goroutines currently running
-	open  int                 // submitted cells not yet finished
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*pending          // FIFO of not-yet-started cells
+	cells     map[string]*pending // every submitted cell, by key
+	live      int                 // worker goroutines currently running
+	open      int                 // dispatched cells not yet finished
+	storeErrs []error             // checkpoint I/O problems (non-fatal per cell)
 }
 
 type pending struct {
 	cell Cell
+	fp   string // checkpoint fingerprint ("" when no store attached)
 	done bool
 	res  *core.Result
+	err  error
 }
 
 // New returns a Runner with no cells submitted.
@@ -83,34 +149,108 @@ func New(opts Options) *Runner {
 	}
 	r := &Runner{opts: opts, cells: map[string]*pending{}}
 	r.cond = sync.NewCond(&r.mu)
+	if ctx := opts.Context; ctx != nil {
+		// Cancel queued cells promptly, not only when a worker next looks
+		// at the queue — a campaign whose workers are deep in multi-hour
+		// cells should release waiting collectors immediately.
+		go func() {
+			<-ctx.Done()
+			r.mu.Lock()
+			r.cancelQueuedLocked()
+			r.mu.Unlock()
+		}()
+	}
 	return r
 }
 
 // BaseSeed returns the campaign's base seed.
 func (r *Runner) BaseSeed() uint64 { return r.opts.BaseSeed }
 
+// cancelErr builds the error published on cells the cancellation dropped.
+func (r *Runner) cancelErr() error {
+	cause := context.Cause(r.opts.Context)
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return fmt.Errorf("%w: %v", ErrCancelled, cause)
+}
+
+// cancelled reports whether the campaign context is cancelled.
+func (r *Runner) cancelled() bool {
+	return r.opts.Context != nil && r.opts.Context.Err() != nil
+}
+
+// cancelQueuedLocked publishes every still-queued cell as cancelled.
+// Running cells are left alone: they drain and publish normally.
+func (r *Runner) cancelQueuedLocked() {
+	if len(r.queue) == 0 {
+		return
+	}
+	err := r.cancelErr()
+	for _, p := range r.queue {
+		p.err = err
+		p.done = true
+		r.open--
+	}
+	r.queue = nil
+	r.cond.Broadcast()
+}
+
 // Submit enqueues cells for execution, deriving each cell's seed from the
 // campaign base seed and the cell key. It never blocks on simulation work.
 // Submitting an empty or duplicate key panics: keys are the determinism
-// contract, and a collision would silently correlate two cells.
+// contract, and a collision would silently correlate two cells. With a
+// Store attached, cells already checkpointed are published immediately
+// instead of dispatched; with a cancelled Context, new cells are published
+// as cancelled.
 func (r *Runner) Submit(cells ...Cell) {
+	var restored []string // checkpoint hits, for OnCellDone outside the lock
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, c := range cells {
 		if c.Key == "" {
+			r.mu.Unlock()
 			panic("campaign: cell with empty key")
 		}
 		if _, dup := r.cells[c.Key]; dup {
+			r.mu.Unlock()
 			panic(fmt.Sprintf("campaign: duplicate cell key %q", c.Key))
 		}
 		c.Config.Seed = sim.DeriveSeed(r.opts.BaseSeed, c.Key)
 		p := &pending{cell: c}
 		r.cells[c.Key] = p
+		if st := r.opts.Store; st != nil {
+			p.fp = store.Fingerprint(r.opts.BaseSeed, c.Key, c.Config)
+			res, err := st.Load(p.fp)
+			if err != nil {
+				// Unreadable or corrupt checkpoint: re-run the cell (the
+				// safe direction) and surface the problem through Wait.
+				r.storeErrs = append(r.storeErrs, fmt.Errorf("cell %q: %w", c.Key, err))
+			}
+			if res != nil {
+				p.res, p.done = res, true
+				restored = append(restored, c.Key)
+				continue
+			}
+		}
+		if r.cancelled() {
+			p.err = r.cancelErr()
+			p.done = true
+			continue
+		}
 		r.queue = append(r.queue, p)
 		r.open++
 		if r.live < r.opts.Jobs {
 			r.live++
 			go r.worker()
+		}
+	}
+	if len(restored) > 0 {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+	if cb := r.opts.OnCellDone; cb != nil {
+		for _, key := range restored {
+			cb(key)
 		}
 	}
 }
@@ -120,29 +260,63 @@ func (r *Runner) Submit(cells ...Cell) {
 func (r *Runner) worker() {
 	r.mu.Lock()
 	for len(r.queue) > 0 {
+		if r.cancelled() {
+			r.cancelQueuedLocked()
+			break
+		}
 		p := r.queue[0]
 		r.queue = r.queue[1:]
 		r.mu.Unlock()
 
-		res := core.Run(p.cell.Config)
-		if cb := r.opts.OnCellDone; cb != nil {
-			cb(p.cell.Key)
+		res, err := r.runCell(p.cell)
+		if err == nil && r.opts.Store != nil {
+			if serr := r.opts.Store.Save(p.fp, res); serr != nil {
+				r.mu.Lock()
+				r.storeErrs = append(r.storeErrs, fmt.Errorf("cell %q: %w", p.cell.Key, serr))
+				r.mu.Unlock()
+			}
 		}
 
 		r.mu.Lock()
-		p.res = res
+		p.res, p.err = res, err
 		p.done = true
 		r.open--
 		r.cond.Broadcast()
+		// Invoke the callback only after the outcome is published, and
+		// outside the lock: a callback that calls Result on its own key,
+		// or reads completed counts, must observe this cell as done.
+		if cb := r.opts.OnCellDone; cb != nil {
+			r.mu.Unlock()
+			cb(p.cell.Key)
+			r.mu.Lock()
+		}
 	}
 	r.live--
 	r.mu.Unlock()
 }
 
+// runCell executes one cell, converting a panic inside the simulation into
+// a recorded failure so one bad cell cannot take the campaign down.
+func (r *Runner) runCell(c Cell) (res *core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &PanicError{Key: c.Key, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	execute := r.opts.Execute
+	if execute == nil {
+		execute = core.Run
+	}
+	return execute(c.Config), nil
+}
+
 // Result blocks until the cell with the given key has finished and returns
-// its result. It panics on an unknown key (the cell was never submitted,
-// so waiting would deadlock).
-func (r *Runner) Result(key string) *core.Result {
+// its result, or the error it failed with (a *PanicError for panics, an
+// ErrCancelled-wrapped error for cells dropped by cancellation). It panics
+// on an unknown key (the cell was never submitted, so waiting would
+// deadlock).
+func (r *Runner) Result(key string) (*core.Result, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	p, ok := r.cells[key]
@@ -152,43 +326,91 @@ func (r *Runner) Result(key string) *core.Result {
 	for !p.done {
 		r.cond.Wait()
 	}
-	return p.res
+	if p.err != nil {
+		return nil, fmt.Errorf("campaign: cell %q: %w", key, p.err)
+	}
+	return p.res, nil
 }
 
 // Merged collects the runs replica cells of key (submitted via Replicas)
 // and pools them in replica-index order — a fixed order, so the merged
 // histograms, counters and episode lists are independent of which worker
-// finished first.
-func (r *Runner) Merged(key string, runs int) *core.Result {
+// finished first. Pooling accumulates into a clone of replica 0's stored
+// result, never into the stored result itself: collecting the same key
+// twice therefore returns two identical, independent results instead of
+// double-merging the campaign's copy. Any failed replica fails the
+// collection with that cell's error.
+func (r *Runner) Merged(key string, runs int) (*core.Result, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	base := r.Result(ReplicaKey(key, 0))
-	for i := 1; i < runs; i++ {
-		base.Merge(r.Result(ReplicaKey(key, i)))
+	first, err := r.Result(ReplicaKey(key, 0))
+	if err != nil {
+		return nil, err
 	}
-	return base
+	merged := first.Clone()
+	for i := 1; i < runs; i++ {
+		next, err := r.Result(ReplicaKey(key, i))
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(next)
+	}
+	return merged, nil
 }
 
-// Wait blocks until every submitted cell has finished.
-func (r *Runner) Wait() {
+// Wait blocks until every submitted cell has finished (or been published
+// as cancelled) and returns the campaign's aggregate error: one entry per
+// failed cell plus any checkpoint-store I/O problems, nil if everything
+// succeeded. Running cells always drain before Wait returns, so with a
+// Store attached their checkpoints are flushed even on cancellation.
+func (r *Runner) Wait() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for r.open > 0 {
 		r.cond.Wait()
 	}
+	var errs []error
+	for _, f := range r.failedLocked() {
+		errs = append(errs, fmt.Errorf("cell %q: %w", f.Key, f.Err))
+	}
+	errs = append(errs, r.storeErrs...)
+	return errors.Join(errs...)
+}
+
+// Failed returns the failures among cells that have finished so far,
+// sorted by key. After Wait it is the campaign's complete failure list.
+func (r *Runner) Failed() []Failure {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failedLocked()
+}
+
+func (r *Runner) failedLocked() []Failure {
+	var out []Failure
+	for key, p := range r.cells {
+		if p.done && p.err != nil {
+			out = append(out, Failure{Key: key, Err: p.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Run is the one-shot form: execute all cells on a fresh pool and return
-// results in cell order.
-func Run(cells []Cell, opts Options) []*core.Result {
+// results in cell order, or the first failed cell's error.
+func Run(cells []Cell, opts Options) ([]*core.Result, error) {
 	r := New(opts)
 	r.Submit(cells...)
 	out := make([]*core.Result, len(cells))
 	for i, c := range cells {
-		out[i] = r.Result(c.Key)
+		res, err := r.Result(c.Key)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
 	}
-	return out
+	return out, nil
 }
 
 // Key joins key components with "/", the conventional separator.
@@ -265,15 +487,20 @@ func MatrixCells(oses []ospersona.OS, classes []workload.Class, variant string, 
 }
 
 // RunMatrix submits a full OS × workload matrix on r and collects the
-// pooled per-cell results, indexed by OS then class.
-func (r *Runner) RunMatrix(oses []ospersona.OS, classes []workload.Class, variant string, base core.RunConfig, runs int) map[ospersona.OS]map[workload.Class]*core.Result {
+// pooled per-cell results, indexed by OS then class. The first failed or
+// cancelled cell aborts collection with its error.
+func (r *Runner) RunMatrix(oses []ospersona.OS, classes []workload.Class, variant string, base core.RunConfig, runs int) (map[ospersona.OS]map[workload.Class]*core.Result, error) {
 	r.Submit(MatrixCells(oses, classes, variant, base, runs)...)
 	out := make(map[ospersona.OS]map[workload.Class]*core.Result, len(oses))
 	for _, o := range oses {
 		out[o] = make(map[workload.Class]*core.Result, len(classes))
 		for _, c := range classes {
-			out[o][c] = r.Merged(MatrixKey(o, c, variant), runs)
+			res, err := r.Merged(MatrixKey(o, c, variant), runs)
+			if err != nil {
+				return nil, err
+			}
+			out[o][c] = res
 		}
 	}
-	return out
+	return out, nil
 }

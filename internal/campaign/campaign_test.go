@@ -62,10 +62,16 @@ func TestParallelEqualsSerial(t *testing.T) {
 	const runs = 3
 
 	serial := New(Options{BaseSeed: 7, Jobs: 1})
-	bySerial := serial.RunMatrix(oses, workload.Classes, "default", base, runs)
+	bySerial, err := serial.RunMatrix(oses, workload.Classes, "default", base, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	parallel := New(Options{BaseSeed: 7, Jobs: 8})
-	byParallel := parallel.RunMatrix(oses, workload.Classes, "default", base, runs)
+	byParallel, err := parallel.RunMatrix(oses, workload.Classes, "default", base, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, o := range oses {
 		for _, c := range workload.Classes {
@@ -81,13 +87,19 @@ func TestSubmissionOrderIrrelevant(t *testing.T) {
 	cells := MatrixCells([]ospersona.OS{ospersona.Win98}, workload.Classes, "default",
 		core.RunConfig{Duration: shortDur}, 1)
 
-	forward := Run(cells, Options{BaseSeed: 3, Jobs: 2})
+	forward, err := Run(cells, Options{BaseSeed: 3, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	reversed := make([]Cell, len(cells))
 	for i, c := range cells {
 		reversed[len(cells)-1-i] = c
 	}
-	backward := Run(reversed, Options{BaseSeed: 3, Jobs: 5})
+	backward, err := Run(reversed, Options{BaseSeed: 3, Jobs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for i := range cells {
 		j := len(cells) - 1 - i
@@ -153,7 +165,10 @@ func TestRunnerSeedDerivation(t *testing.T) {
 	r := New(Options{BaseSeed: 42, Jobs: 2})
 	cfg := core.RunConfig{OS: ospersona.NT4, Workload: workload.Web, Duration: time.Second}
 	r.Submit(Replicas(key, cfg, 1)...)
-	res := r.Merged(key, 1)
+	res, err := r.Merged(key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Config.Seed != want {
 		t.Fatalf("cell seed %d, want derived %d", res.Config.Seed, want)
 	}
@@ -180,10 +195,13 @@ func TestWaitDrainsCampaign(t *testing.T) {
 	cells := MatrixCells([]ospersona.OS{ospersona.NT4}, workload.Classes, "default",
 		core.RunConfig{Duration: time.Second}, 2)
 	r.Submit(cells...)
-	r.Wait()
+	if err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range cells {
-		if r.Result(c.Key) == nil {
-			t.Fatalf("cell %s missing after Wait", c.Key)
+		res, err := r.Result(c.Key)
+		if err != nil || res == nil {
+			t.Fatalf("cell %s missing after Wait: %v", c.Key, err)
 		}
 	}
 }

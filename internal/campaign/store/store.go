@@ -1,0 +1,111 @@
+// Package store is the campaign checkpoint store: one encoded core.Result
+// per finished cell, on disk, keyed by a content fingerprint of everything
+// the cell's result depends on. A killed multi-hour campaign resumes by
+// re-submitting the same cells against the same store directory — cells
+// whose fingerprints are present replay from disk, the rest re-run — and
+// because cell results are deterministic functions of (base seed, key,
+// config) and the codec round-trips exactly, a resumed campaign's
+// artifacts are byte-identical to an uninterrupted run's.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"wdmlat/internal/core"
+)
+
+// Store is an on-disk per-cell result store. Methods are safe for
+// concurrent use by campaign workers: each cell writes its own file, and
+// writes are atomic (temp file + rename), so a crash mid-write never
+// leaves a truncated checkpoint behind under the final name.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a checkpoint directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Fingerprint identifies one cell's result content: SHA-256 over the
+// result codec version (which stands in for "code version" — it is bumped
+// whenever the encoding or the simulation's observable output changes),
+// the campaign base seed, the cell key, and the canonical JSON encoding of
+// the cell's full RunConfig (with the derived per-cell seed filled in).
+// Struct JSON is canonical here: fields marshal in declaration order, so
+// equal configs hash equal, and any added RunConfig field changes the
+// encoding and safely invalidates old checkpoints.
+func Fingerprint(baseSeed uint64, key string, cfg core.RunConfig) string {
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		// RunConfig is a plain data struct; its marshal cannot fail.
+		panic(fmt.Sprintf("store: marshal RunConfig: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "wdmlat-result-v%d\x00%d\x00%s\x00", core.ResultCodecVersion, baseSeed, key)
+	h.Write(cfgJSON)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Store) path(fp string) string {
+	return filepath.Join(s.dir, fp+".json")
+}
+
+// Load returns the stored result for fp, or (nil, nil) when the store has
+// no entry. An unreadable or corrupt entry is an error — the caller
+// decides whether to re-run the cell (the campaign runner does) or abort.
+func (s *Store) Load(fp string) (*core.Result, error) {
+	f, err := os.Open(s.path(fp))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	res, err := core.DecodeResult(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: checkpoint %s: %w", fp, err)
+	}
+	return res, nil
+}
+
+// Save atomically persists res under fp: the encoding lands in a temp file
+// in the store directory and is renamed into place only once fully
+// written and synced, so concurrent readers and crash recovery only ever
+// see complete checkpoints.
+func (s *Store) Save(fp string, res *core.Result) error {
+	tmp, err := os.CreateTemp(s.dir, "."+fp+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := core.EncodeResult(tmp, res); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: checkpoint %s: %w", fp, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(fp)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

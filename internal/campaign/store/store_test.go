@@ -1,0 +1,121 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"wdmlat/internal/core"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/workload"
+)
+
+func testResult(t *testing.T) (*core.Result, core.RunConfig) {
+	t.Helper()
+	cfg := core.RunConfig{OS: ospersona.Win98, Workload: workload.Business, Duration: time.Second, Seed: 31}
+	return core.Run(cfg), cfg
+}
+
+// TestStoreRoundTrip: Save then Load reproduces the result exactly.
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cfg := testResult(t)
+	fp := Fingerprint(7, "win98/business/default/0", cfg)
+
+	if err := s.Save(fp, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, got) {
+		t.Fatal("stored result differs from original after round-trip")
+	}
+}
+
+// TestStoreMiss: an absent fingerprint is (nil, nil), not an error.
+func TestStoreMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(strings.Repeat("ab", 32))
+	if err != nil || got != nil {
+		t.Fatalf("miss returned (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+// TestStoreCorruptEntry: a truncated checkpoint is an error (the runner
+// re-runs the cell), never a silently wrong result.
+func TestStoreCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := strings.Repeat("cd", 32)
+	if err := os.WriteFile(filepath.Join(dir, fp+".json"), []byte(`{"Version":1,"Conf`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(fp); err == nil {
+		t.Fatal("load of corrupt checkpoint succeeded, want error")
+	}
+}
+
+// TestStoreSaveAtomic: after Save, the directory holds exactly the final
+// file — no temp leftovers a crashed writer could confuse a reader with.
+func TestStoreSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cfg := testResult(t)
+	fp := Fingerprint(7, "k", cfg)
+	if err := s.Save(fp, res); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != fp+".json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("store dir holds %v, want exactly [%s.json]", names, fp)
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint must change with every input
+// it claims to cover — base seed, key, and any config field — and must be
+// stable across calls.
+func TestFingerprintSensitivity(t *testing.T) {
+	cfg := core.RunConfig{OS: ospersona.NT4, Workload: workload.Games, Duration: time.Minute, Seed: 1}
+	base := Fingerprint(1, "k", cfg)
+	if base != Fingerprint(1, "k", cfg) {
+		t.Fatal("fingerprint not stable")
+	}
+	altCfg := cfg
+	altCfg.VirusScanner = true
+	altDur := cfg
+	altDur.Duration = 2 * time.Minute
+	for name, fp := range map[string]string{
+		"base seed": Fingerprint(2, "k", cfg),
+		"key":       Fingerprint(1, "k2", cfg),
+		"config":    Fingerprint(1, "k", altCfg),
+		"duration":  Fingerprint(1, "k", altDur),
+	} {
+		if fp == base {
+			t.Errorf("fingerprint insensitive to %s", name)
+		}
+	}
+}

@@ -1,14 +1,63 @@
 // Package cli holds small helpers shared by the cmd/ tools: flag parsing
-// for OS and workload names, and duration conveniences.
+// for OS and workload names, campaign signal handling, checkpoint-store
+// opening, and the shared campaign failure exit path.
 package cli
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"wdmlat/internal/campaign"
+	"wdmlat/internal/campaign/store"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/workload"
 )
+
+// SignalContext returns a context cancelled on SIGINT/SIGTERM. Wired into
+// campaign.Options.Context, the first signal makes the campaign stop
+// dispatching new cells, drain the running ones, and flush completed work
+// to the checkpoint store; a second signal kills the process immediately
+// (the returned stop function restores default signal behaviour).
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// OpenStore opens the checkpoint store for a -checkpoint flag value; an
+// empty dir (flag unset) disables checkpointing and returns (nil, nil).
+func OpenStore(dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return store.Open(dir)
+}
+
+// ReportFailures writes every failed cell — with panic stacks, when the
+// failure was a recovered panic — to w, prefixed by the tool name.
+func ReportFailures(w io.Writer, name string, failures []campaign.Failure) {
+	for _, f := range failures {
+		fmt.Fprintf(w, "%s: cell %q failed: %v\n", name, f.Key, f.Err)
+		var pe *campaign.PanicError
+		if errors.As(f.Err, &pe) && len(pe.Stack) > 0 {
+			fmt.Fprintf(w, "%s\n", pe.Stack)
+		}
+	}
+}
+
+// FailCampaign is the cmds' shared campaign fatal path: it reports err,
+// waits for in-flight cells to drain (so their checkpoints flush — the
+// cancellation contract), names every failed cell, and exits non-zero.
+func FailCampaign(name string, run *campaign.Runner, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	_ = run.Wait()
+	ReportFailures(os.Stderr, name, run.Failed())
+	os.Exit(1)
+}
 
 // ParseOS resolves an --os flag value.
 func ParseOS(s string) (ospersona.OS, error) {

@@ -1,8 +1,11 @@
 package cli
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
+	"wdmlat/internal/campaign"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/workload"
 )
@@ -66,5 +69,30 @@ func TestParseWorkloadList(t *testing.T) {
 	}
 	if _, err := ParseWorkloadList("none"); err == nil {
 		t.Error("bad list should fail")
+	}
+}
+
+func TestOpenStore(t *testing.T) {
+	if st, err := OpenStore(""); st != nil || err != nil {
+		t.Fatalf("empty dir: (%v, %v), want (nil, nil)", st, err)
+	}
+	dir := t.TempDir() + "/ckpt"
+	st, err := OpenStore(dir)
+	if err != nil || st == nil || st.Dir() != dir {
+		t.Fatalf("OpenStore(%q) = (%v, %v)", dir, st, err)
+	}
+}
+
+func TestReportFailures(t *testing.T) {
+	var buf strings.Builder
+	ReportFailures(&buf, "tool", []campaign.Failure{
+		{Key: "a/0", Err: errors.New("boom")},
+		{Key: "b/0", Err: &campaign.PanicError{Key: "b/0", Value: "bad", Stack: []byte("goroutine 1")}},
+	})
+	out := buf.String()
+	for _, want := range []string{`cell "a/0" failed: boom`, `cell "b/0" failed: panic: bad`, "goroutine 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
 	}
 }

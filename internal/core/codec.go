@@ -1,0 +1,108 @@
+package core
+
+// Checkpoint codec for Result. A campaign checkpoint store persists one
+// encoded Result per finished cell; on resume the stored bytes must
+// reconstruct the cell's result exactly — every histogram bucket, float
+// accumulator, kernel counter and cause-tool episode — or the resumed
+// campaign's artifacts would drift from an uninterrupted run's. The wire
+// form is versioned JSON: Result is pure data with exported fields (the
+// histograms carry their own exact codec in internal/stats), and
+// ResultCodecVersion guards against replaying results captured by an
+// incompatible encoding *or* an incompatible simulation (bump it whenever
+// either changes observable output).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wdmlat/internal/causetool"
+	"wdmlat/internal/kernel"
+	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
+	"wdmlat/internal/workload"
+)
+
+// ResultCodecVersion identifies the encoding and the simulation semantics
+// a stored Result was produced under. Checkpoint fingerprints include it,
+// so bumping the version invalidates every stored cell — the safe
+// direction: a stale checkpoint silently re-runs, it never corrupts.
+const ResultCodecVersion = 1
+
+// resultWire mirrors Result field-for-field plus the version tag.
+type resultWire struct {
+	Version  int
+	Config   RunConfig
+	OSName   string
+	Class    workload.Class
+	Observed sim.Cycles
+	Freq     sim.Freq
+	Samples  uint64
+
+	DpcInt       *stats.Histogram
+	DpcIntOracle *stats.Histogram
+	IntLat       *stats.Histogram
+	DpcLat       *stats.Histogram
+	Thread       map[int]*stats.Histogram
+	HwToThread   map[int]*stats.Histogram
+
+	Counters       kernel.Counters
+	AudioUnderruns uint64
+	AudioPeriods   uint64
+
+	Episodes []causetool.Episode
+}
+
+// EncodeResult writes r's checkpoint encoding to w.
+func EncodeResult(w io.Writer, r *Result) error {
+	wire := resultWire{
+		Version:        ResultCodecVersion,
+		Config:         r.Config,
+		OSName:         r.OSName,
+		Class:          r.Class,
+		Observed:       r.Observed,
+		Freq:           r.Freq,
+		Samples:        r.Samples,
+		DpcInt:         r.DpcInt,
+		DpcIntOracle:   r.DpcIntOracle,
+		IntLat:         r.IntLat,
+		DpcLat:         r.DpcLat,
+		Thread:         r.Thread,
+		HwToThread:     r.HwToThread,
+		Counters:       r.Counters,
+		AudioUnderruns: r.AudioUnderruns,
+		AudioPeriods:   r.AudioPeriods,
+		Episodes:       r.Episodes,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&wire)
+}
+
+// DecodeResult reads one checkpoint-encoded Result from rd.
+func DecodeResult(rd io.Reader) (*Result, error) {
+	var wire resultWire
+	if err := json.NewDecoder(rd).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decoding result: %w", err)
+	}
+	if wire.Version != ResultCodecVersion {
+		return nil, fmt.Errorf("core: result codec version %d, want %d", wire.Version, ResultCodecVersion)
+	}
+	return &Result{
+		Config:         wire.Config,
+		OSName:         wire.OSName,
+		Class:          wire.Class,
+		Observed:       wire.Observed,
+		Freq:           wire.Freq,
+		Samples:        wire.Samples,
+		DpcInt:         wire.DpcInt,
+		DpcIntOracle:   wire.DpcIntOracle,
+		IntLat:         wire.IntLat,
+		DpcLat:         wire.DpcLat,
+		Thread:         wire.Thread,
+		HwToThread:     wire.HwToThread,
+		Counters:       wire.Counters,
+		AudioUnderruns: wire.AudioUnderruns,
+		AudioPeriods:   wire.AudioPeriods,
+		Episodes:       wire.Episodes,
+	}, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/workload"
+)
+
+func roundTrip(t *testing.T, r *Result) *Result {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, r); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeResult(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+// TestResultCodecRoundTrip: decode(encode(r)) is deep-equal to r for both
+// OS personalities — including the NT result's nil legacy-hook histograms
+// and the Win98 cause-tool episode captures — so a checkpointed cell
+// replays into the same artifacts an uninterrupted run writes.
+func TestResultCodecRoundTrip(t *testing.T) {
+	cfgs := []RunConfig{
+		{OS: ospersona.NT4, Workload: workload.Business, Duration: 2 * time.Second, Seed: 11},
+		{OS: ospersona.Win98, Workload: workload.Games, Duration: 2 * time.Second, Seed: 12,
+			SoundScheme: true, CauseAnalysis: true, CauseThreshold: 4 * time.Millisecond},
+	}
+	for _, cfg := range cfgs {
+		r := Run(cfg)
+		got := roundTrip(t, r)
+		if !reflect.DeepEqual(r, got) {
+			t.Fatalf("%v/%v: round-trip changed result", cfg.OS, cfg.Workload)
+		}
+	}
+}
+
+// TestResultCodecVersionGuard: a stored result from a different codec
+// version must refuse to decode — stale checkpoints re-run, never replay.
+func TestResultCodecVersionGuard(t *testing.T) {
+	r := Run(RunConfig{OS: ospersona.NT4, Workload: workload.Web, Duration: time.Second, Seed: 5})
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Replace(buf.Bytes(),
+		[]byte(`"Version":1`), []byte(`"Version":999`), 1)
+	if !bytes.Contains(data, []byte(`"Version":999`)) {
+		t.Fatal("test setup: version tag not found in encoding")
+	}
+	if _, err := DecodeResult(bytes.NewReader(data)); err == nil {
+		t.Fatal("decode of mismatched codec version succeeded, want error")
+	}
+}
+
+// TestResultCloneIndependent: merging into a clone must leave the original
+// untouched (the collect-twice corruption fixed in the campaign runner).
+func TestResultCloneIndependent(t *testing.T) {
+	a := Run(RunConfig{OS: ospersona.Win98, Workload: workload.Business, Duration: 2 * time.Second, Seed: 21})
+	b := Run(RunConfig{OS: ospersona.Win98, Workload: workload.Business, Duration: 2 * time.Second, Seed: 22})
+
+	var before bytes.Buffer
+	if err := EncodeResult(&before, a); err != nil {
+		t.Fatal(err)
+	}
+	cl := a.Clone()
+	if !reflect.DeepEqual(a, cl) {
+		t.Fatal("clone not equal to original")
+	}
+	cl.Merge(b)
+	var after bytes.Buffer
+	if err := EncodeResult(&after, a); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("merging into a clone mutated the original result")
+	}
+	if cl.Samples != a.Samples+b.Samples {
+		t.Fatalf("clone did not accumulate: %d samples, want %d", cl.Samples, a.Samples+b.Samples)
+	}
+}

@@ -14,8 +14,10 @@ package core
 import (
 	"strconv"
 
+	"wdmlat/internal/causetool"
 	"wdmlat/internal/par"
 	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
 )
 
 // ReplicaSeed derives the seed of replica i of a pooled run. Replica 0
@@ -57,6 +59,41 @@ func RunMergedJobs(cfg RunConfig, runs, jobs int) *Result {
 		base.Merge(r)
 	}
 	return base
+}
+
+// Clone returns a deep copy of r that Merge can accumulate into without
+// mutating r: histograms and the priority maps are copied, the episode
+// slice is re-sliced (episodes themselves are never mutated by pooling).
+// Collectors that hand out a stored result more than once must merge into
+// a clone, or the second collection double-pools the first one's data.
+func (r *Result) Clone() *Result {
+	cp := *r
+	cloneH := func(h *stats.Histogram) *stats.Histogram {
+		if h == nil {
+			return nil
+		}
+		return h.Clone()
+	}
+	cp.DpcInt = cloneH(r.DpcInt)
+	cp.DpcIntOracle = cloneH(r.DpcIntOracle)
+	cp.IntLat = cloneH(r.IntLat)
+	cp.DpcLat = cloneH(r.DpcLat)
+	if r.Thread != nil {
+		cp.Thread = make(map[int]*stats.Histogram, len(r.Thread))
+		for p, h := range r.Thread {
+			cp.Thread[p] = cloneH(h)
+		}
+	}
+	if r.HwToThread != nil {
+		cp.HwToThread = make(map[int]*stats.Histogram, len(r.HwToThread))
+		for p, h := range r.HwToThread {
+			cp.HwToThread[p] = cloneH(h)
+		}
+	}
+	if r.Episodes != nil {
+		cp.Episodes = append([]causetool.Episode(nil), r.Episodes...)
+	}
+	return &cp
 }
 
 // Merge pools other into r: histograms, counters and episode lists are

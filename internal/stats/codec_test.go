@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"wdmlat/internal/sim"
+)
+
+// TestHistogramCodecRoundTrip: decode(encode(h)) must be field-for-field
+// identical — bucket counts, float accumulators (bit-exact), and extrema —
+// because resumed campaigns replay stored histograms into byte-identical
+// artifacts.
+func TestHistogramCodecRoundTrip(t *testing.T) {
+	h := NewHistogram(sim.DefaultFreq)
+	for _, v := range []sim.Cycles{0, 1, 2, 3, 31, 32, 33, 999, 123456, 1 << 39, 1 << 41} {
+		h.Add(v)
+	}
+	h.AddMillis(0.001)
+	h.AddMillis(17.3)
+
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := new(Histogram)
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, got) {
+		t.Fatalf("round-trip changed histogram:\nwant %+v\ngot  %+v", h, got)
+	}
+	if got.Mean() != h.Mean() || got.StdDev() != h.StdDev() {
+		t.Fatalf("float accumulators not bit-exact after round-trip")
+	}
+}
+
+// TestHistogramCodecEmpty: an empty histogram's min/max sentinels survive
+// the round-trip, so Min()/Max() still report 0 afterwards.
+func TestHistogramCodecEmpty(t *testing.T) {
+	h := NewHistogram(sim.DefaultFreq)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := new(Histogram)
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, got) {
+		t.Fatalf("empty histogram round-trip not identical")
+	}
+	if got.Min() != 0 || got.Max() != 0 || got.N() != 0 {
+		t.Fatalf("empty histogram semantics changed: min %d max %d n %d", got.Min(), got.Max(), got.N())
+	}
+}
+
+// TestHistogramCodecRejectsBadInput: corrupt wire data errors instead of
+// silently producing a broken histogram.
+func TestHistogramCodecRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{
+		`{"freq":0,"n":0}`,                         // non-positive frequency
+		`{"freq":300000000,"counts":{"99999":1}}`,  // bucket index out of range
+		`{"freq":300000000,"counts":{"-1":1}}`,     // negative bucket index
+	} {
+		if err := json.Unmarshal([]byte(bad), new(Histogram)); err == nil {
+			t.Errorf("decode of %s succeeded, want error", bad)
+		}
+	}
+}
