@@ -10,11 +10,25 @@ GO ?= go
 BASE ?= BENCH_0.json
 NEW  ?= BENCH_1.json
 
-.PHONY: all check vet build test race substrate failure-paths smoke resume-smoke bench bench-smoke bench-compare reproduce clean
+# Coverage floor (percent of statements) for the campaign runtime and the
+# metrics registry — the packages whose regressions CI must not let drift.
+# Recorded from the suite at the time the gate was added; raise it as
+# coverage grows, never lower it to make a failure go away.
+COVER_FLOOR ?= 85.0
+
+.PHONY: all check lint vet build test race substrate failure-paths cover smoke resume-smoke bench bench-smoke bench-compare reproduce clean
 
 all: check
 
-check: vet build test race substrate failure-paths
+check: lint build test race substrate failure-paths
+
+# lint: formatting is enforced, not advisory — gofmt drift fails the gate,
+# and go vet runs under the same umbrella so `make lint` is the one cheap
+# static pass CI and pre-commit hooks share.
+lint:
+	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...
@@ -44,11 +58,32 @@ substrate:
 failure-paths:
 	$(GO) test -race -run 'TestPanicking|TestCancelled|TestResume|TestCollectTwice|TestOnCellDone|TestCheckpointRestore' ./internal/campaign/...
 
+# cover: the coverage gate for the campaign runtime + metrics registry.
+# Produces cover.out (the CI job uploads it) and fails if total statement
+# coverage over those packages drops below COVER_FLOOR.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/campaign/... ./internal/metrics/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
 # smoke: a fast end-to-end pass of the full reproduction pipeline on the
-# parallel campaign runner. Artifacts land in a scratch directory (not
-# results/, which holds the full-length record).
+# parallel campaign runner, with the observability surface on: progress to
+# stderr, a checkpoint store, and a telemetry snapshot that must show the
+# campaign actually counted its cells and checkpoints. The scratch
+# directory is removed on success so CI runners (and developers) stay
+# clean; it is left behind on failure for the post-mortem.
 smoke:
-	$(GO) run ./cmd/reproduce -duration 5s -jobs 4 -outdir results-smoke
+	rm -rf results-smoke
+	$(GO) run ./cmd/reproduce -duration 5s -jobs 4 -outdir results-smoke -progress \
+		-checkpoint results-smoke/ckpt -telemetry results-smoke/telemetry.json
+	@grep -q '"campaign_cells_completed": [1-9]' results-smoke/telemetry.json || \
+		{ echo "smoke: telemetry has no completed cells"; exit 1; }
+	@grep -q '"store_writes": [1-9]' results-smoke/telemetry.json || \
+		{ echo "smoke: telemetry has no checkpoint writes"; exit 1; }
+	@echo "smoke: telemetry snapshot has nonzero cell and checkpoint counters"
+	rm -rf results-smoke
 
 # resume-smoke: kill a checkpointed campaign mid-flight with SIGINT, resume
 # it from the checkpoint store, and demand the resumed artifacts be
@@ -69,6 +104,7 @@ resume-smoke:
 		-outdir results-resume-smoke/full
 	diff -r results-resume-smoke/resumed results-resume-smoke/full
 	@echo "resume-smoke: resumed artifacts byte-identical to uninterrupted run"
+	rm -rf results-resume-smoke
 
 # bench: record the substrate and experiment benchmarks into $(NEW). Compare
 # against the committed pre-optimisation baseline $(BASE) with bench-compare.
@@ -92,4 +128,4 @@ reproduce:
 	$(GO) run ./cmd/reproduce -duration 30m -runs 3
 
 clean:
-	rm -rf results-smoke results-resume-smoke
+	rm -rf results-smoke results-resume-smoke cover.out

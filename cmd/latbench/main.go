@@ -8,7 +8,8 @@
 //
 //	latbench [-os both|all] [-workload all] [-duration 10m] [-seed 1]
 //	         [-runs N] [-jobs N] [-checkpoint dir] [-scanner] [-sound]
-//	         [-csv] [-oracle] [-config]
+//	         [-csv] [-oracle] [-config] [-progress] [-telemetry out.json]
+//	         [-cpuprofile f] [-memprofile f] [-pprof :6060]
 //
 // With -checkpoint, every finished cell is persisted under dir and a
 // re-run skips cells already completed; SIGINT/SIGTERM stops dispatching
@@ -44,7 +45,9 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	oracle := flag.Bool("oracle", false, "plot ground-truth DPC-interrupt latency instead of the tool's estimate")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
+	obs := cli.NewObs("latbench", flag.CommandLine)
 	flag.Parse()
+	fatal(obs.Start())
 
 	if *config {
 		printConfigs()
@@ -67,13 +70,14 @@ func main() {
 	}
 	ctx, stop := cli.SignalContext()
 	defer stop()
-	st, err := cli.OpenStore(*checkpoint)
+	st, err := cli.OpenStore(*checkpoint, obs.Registry)
 	fatal(err)
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st, Metrics: obs.Registry})
+	obs.StartProgress(run)
 	base := core.RunConfig{Duration: *duration, VirusScanner: *scanner, SoundScheme: *sound}
 	byOS, err := run.RunMatrix(oses, classes, variant, base, *runs)
 	if err != nil {
-		cli.FailCampaign("latbench", run, err)
+		cli.FailCampaign("latbench", run, obs, err)
 	}
 
 	for _, osSel := range oses {
@@ -132,8 +136,9 @@ func main() {
 	// checkpoint store could not persist something — fail loudly, or the
 	// next resume would silently re-run those cells.
 	if err := run.Wait(); err != nil {
-		cli.FailCampaign("latbench", run, err)
+		cli.FailCampaign("latbench", run, obs, err)
 	}
+	fatal(obs.Close())
 }
 
 func printConfigs() {

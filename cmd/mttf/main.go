@@ -37,7 +37,9 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	validate := flag.Bool("validate", false, "cross-check one point per class against direct datapump simulation")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
+	obs := cli.NewObs("mttf", flag.CommandLine)
 	flag.Parse()
+	fatal(obs.Start())
 
 	osSel, err := cli.ParseOS(*osFlag)
 	fatal(err)
@@ -64,13 +66,14 @@ func main() {
 	// the campaign pool, then sweep the analytic curves in class order.
 	ctx, stop := cli.SignalContext()
 	defer stop()
-	st, err := cli.OpenStore(*checkpoint)
+	st, err := cli.OpenStore(*checkpoint, obs.Registry)
 	fatal(err)
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st, Metrics: obs.Registry})
+	obs.StartProgress(run)
 	byOS, err := run.RunMatrix([]ospersona.OS{osSel}, workload.Classes, "mttf",
 		core.RunConfig{Duration: *duration}, *runs)
 	if err != nil {
-		cli.FailCampaign("mttf", run, err)
+		cli.FailCampaign("mttf", run, obs, err)
 	}
 
 	curves := make(map[workload.Class][]mttf.Point)
@@ -88,8 +91,9 @@ func main() {
 	fmt.Println("\n('>' marks censored points: no event beyond that slack was observed;")
 	fmt.Println(" the value is the lower bound supported by the collection span.)")
 	if err := run.Wait(); err != nil {
-		cli.FailCampaign("mttf", run, err)
+		cli.FailCampaign("mttf", run, obs, err)
 	}
+	fatal(obs.Close())
 }
 
 // pickDistribution matches the datapump's modality to the latency it waits

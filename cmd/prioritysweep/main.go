@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
+	obs := cli.NewObs("prioritysweep", flag.CommandLine)
 	flag.Parse()
 
 	wl := workload.Business
@@ -51,12 +52,17 @@ func main() {
 	// sweep up front and collect in print order.
 	ctx, stop := cli.SignalContext()
 	defer stop()
-	st, err := cli.OpenStore(*checkpoint)
+	if err := obs.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "prioritysweep:", err)
+		os.Exit(1)
+	}
+	st, err := cli.OpenStore(*checkpoint, obs.Registry)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "prioritysweep:", err)
 		os.Exit(1)
 	}
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st, Metrics: obs.Registry})
+	obs.StartProgress(run)
 	key := func(osSel ospersona.OS, p int) string {
 		return campaign.MatrixKey(osSel, wl, fmt.Sprintf("prio-%d", p))
 	}
@@ -82,7 +88,7 @@ func main() {
 		for _, osSel := range oses {
 			r, err := run.Merged(key(osSel, p), 1)
 			if err != nil {
-				cli.FailCampaign("prioritysweep", run, err)
+				cli.FailCampaign("prioritysweep", run, obs, err)
 			}
 			h := r.Thread[p]
 			row = append(row,
@@ -100,6 +106,10 @@ func main() {
 	fmt.Println("across the band: its scheduler-locked windows stall every priority equally,")
 	fmt.Println("so no priority buys a Win98 driver its way out (§4.2, §6).")
 	if err := run.Wait(); err != nil {
-		cli.FailCampaign("prioritysweep", run, err)
+		cli.FailCampaign("prioritysweep", run, obs, err)
+	}
+	if err := obs.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "prioritysweep:", err)
+		os.Exit(1)
 	}
 }

@@ -16,6 +16,13 @@
 // artifacts. SIGINT/SIGTERM cancels gracefully: no new cells are
 // dispatched, running cells drain into the store, and the process exits
 // non-zero naming the cells it had to drop.
+//
+// The campaign's own behavior is observable out-of-band: -progress reports
+// cells done/total with throughput and an ETA, -telemetry out.json writes
+// the final metrics snapshot (cell outcomes, checkpoint hits/misses,
+// worker utilization, per-cell wall-time distribution), and -cpuprofile /
+// -memprofile / -pprof expose the stdlib profilers. None of these affect
+// the artifacts, which stay byte-identical with telemetry on or off.
 package main
 
 import (
@@ -51,9 +58,13 @@ func main() {
 	runs := flag.Int("runs", 1, "replicas pooled per cell")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
+	obs := cli.NewObs("reproduce", flag.CommandLine)
 	flag.Parse()
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fail(err)
+	}
+	if err := obs.Start(); err != nil {
 		fail(err)
 	}
 	start := time.Now()
@@ -63,12 +74,13 @@ func main() {
 	// emission code below blocks only on the cells each artifact needs.
 	ctx, stop := cli.SignalContext()
 	defer stop()
-	st, err := cli.OpenStore(*checkpoint)
+	st, err := cli.OpenStore(*checkpoint, obs.Registry)
 	if err != nil {
 		fail(err)
 	}
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
-	failedRun = run
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st, Metrics: obs.Registry})
+	failedRun, failedObs = run, obs
+	obs.StartProgress(run)
 	base := core.RunConfig{Duration: *duration}
 
 	step("campaign: %d cells x %d replicas on %d workers (%v virtual per cell)",
@@ -133,7 +145,7 @@ func main() {
 		for _, wl := range workload.Classes {
 			res, err := run.Merged(campaign.MatrixKey(osSel, wl, "default"), *runs)
 			if err != nil {
-				cli.FailCampaign("reproduce", run, err)
+				cli.FailCampaign("reproduce", run, obs, err)
 			}
 			byOS[osSel][wl] = res
 		}
@@ -319,7 +331,10 @@ func main() {
 	})
 
 	if err := run.Wait(); err != nil {
-		cli.FailCampaign("reproduce", run, err)
+		cli.FailCampaign("reproduce", run, obs, err)
+	}
+	if err := obs.Close(); err != nil {
+		fail(err)
 	}
 	fmt.Printf("done in %v; artifacts in %s/\n", time.Since(start).Round(time.Second), *outdir)
 }
@@ -328,9 +343,13 @@ func step(format string, args ...any) {
 	fmt.Printf("== "+format+"\n", args...)
 }
 
-// failedRun lets emit's error path drain the campaign before exiting, so
-// an interrupted reproduce still flushes its running cells' checkpoints.
-var failedRun *campaign.Runner
+// failedRun/failedObs let emit's error path drain the campaign and flush
+// telemetry before exiting, so an interrupted reproduce still persists its
+// running cells' checkpoints and its metrics snapshot.
+var (
+	failedRun *campaign.Runner
+	failedObs *cli.Obs
+)
 
 func emit(dir, name string, fn func(io.Writer) error) {
 	f, err := os.Create(filepath.Join(dir, name))
@@ -340,7 +359,7 @@ func emit(dir, name string, fn func(io.Writer) error) {
 	defer f.Close()
 	if err := fn(f); err != nil {
 		if failedRun != nil {
-			cli.FailCampaign("reproduce", failedRun, err)
+			cli.FailCampaign("reproduce", failedRun, failedObs, err)
 		}
 		fail(err)
 	}

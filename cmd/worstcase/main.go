@@ -32,10 +32,15 @@ func main() {
 	runs := flag.Int("runs", 1, "independent replicas to pool per workload (deepens tails)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
+	obs := cli.NewObs("worstcase", flag.CommandLine)
 	flag.Parse()
 
 	osSel, err := cli.ParseOS(*osFlag)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "worstcase:", err)
+		os.Exit(1)
+	}
+	if err := obs.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "worstcase:", err)
 		os.Exit(1)
 	}
@@ -46,16 +51,17 @@ func main() {
 	}
 	ctx, stop := cli.SignalContext()
 	defer stop()
-	st, err := cli.OpenStore(*checkpoint)
+	st, err := cli.OpenStore(*checkpoint, obs.Registry)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "worstcase:", err)
 		os.Exit(1)
 	}
-	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st})
+	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st, Metrics: obs.Registry})
+	obs.StartProgress(run)
 	byOS, err := run.RunMatrix([]ospersona.OS{osSel}, workload.Classes, variant,
 		core.RunConfig{Duration: *duration, VirusScanner: *scanner}, *runs)
 	if err != nil {
-		cli.FailCampaign("worstcase", run, err)
+		cli.FailCampaign("worstcase", run, obs, err)
 	}
 	results := byOS[osSel]
 
@@ -68,6 +74,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := run.Wait(); err != nil {
-		cli.FailCampaign("worstcase", run, err)
+		cli.FailCampaign("worstcase", run, obs, err)
+	}
+	if err := obs.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "worstcase:", err)
+		os.Exit(1)
 	}
 }

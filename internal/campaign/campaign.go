@@ -37,12 +37,33 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"wdmlat/internal/campaign/store"
 	"wdmlat/internal/core"
+	"wdmlat/internal/metrics"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/sim"
 	"wdmlat/internal/workload"
+)
+
+// Metric names the runner publishes on Options.Metrics. Counters count
+// cells by outcome and checkpoint-store dispositions; the gauges track the
+// pool's instantaneous load (with high-watermarks); the histogram is the
+// distribution of per-cell execution wall time — the runner's own "full
+// distribution on a loaded system", in the paper's sense.
+const (
+	MetricCellsStarted      = "campaign_cells_started"      // cells dispatched to a worker
+	MetricCellsCompleted    = "campaign_cells_completed"    // successful results published (incl. checkpoint restores)
+	MetricCellsFailed       = "campaign_cells_failed"       // cells published with an execution error
+	MetricCellsCancelled    = "campaign_cells_cancelled"    // cells dropped by cancellation before dispatch
+	MetricCellPanics        = "campaign_cell_panics"        // failed cells whose error was a recovered panic
+	MetricCheckpointHits    = "campaign_checkpoint_hits"    // submitted cells restored from the store
+	MetricCheckpointMisses  = "campaign_checkpoint_misses"  // submitted cells absent from the store
+	MetricCheckpointCorrupt = "campaign_checkpoint_corrupt" // submitted cells whose stored entry was unreadable
+	MetricWorkersBusy       = "campaign_workers_busy"       // gauge: workers executing a cell right now
+	MetricQueueDepth        = "campaign_queue_depth"        // gauge: cells submitted but not yet dispatched
+	MetricCellWallTime      = "campaign_cell_wall_time"     // histogram: per-cell execution wall time
 )
 
 // ErrCancelled marks cells that were never dispatched because the
@@ -113,6 +134,38 @@ type Options struct {
 	// nil for real campaigns. It must stay a pure function of its config
 	// or the determinism contract is void.
 	Execute func(core.RunConfig) *core.Result
+	// Metrics, if non-nil, receives the runner's operational telemetry
+	// (the Metric* instruments above). Telemetry is strictly out-of-band:
+	// it is never read by the runner or the simulation, so results are
+	// byte-identical with it attached or not — a property the test suite
+	// enforces. Nil disables collection at zero cost.
+	Metrics *metrics.Registry
+}
+
+// runnerMetrics holds the runner's instrument handles, pre-resolved once so
+// the hot paths never take the registry lock. With a nil registry every
+// handle is nil and every update is a nil-safe no-op.
+type runnerMetrics struct {
+	started, completed, failed, cancelled, panics *metrics.Counter
+	ckptHit, ckptMiss, ckptCorrupt                *metrics.Counter
+	busy, depth                                   *metrics.Gauge
+	wall                                          *metrics.Histogram
+}
+
+func newRunnerMetrics(reg *metrics.Registry) runnerMetrics {
+	return runnerMetrics{
+		started:     reg.Counter(MetricCellsStarted),
+		completed:   reg.Counter(MetricCellsCompleted),
+		failed:      reg.Counter(MetricCellsFailed),
+		cancelled:   reg.Counter(MetricCellsCancelled),
+		panics:      reg.Counter(MetricCellPanics),
+		ckptHit:     reg.Counter(MetricCheckpointHits),
+		ckptMiss:    reg.Counter(MetricCheckpointMisses),
+		ckptCorrupt: reg.Counter(MetricCheckpointCorrupt),
+		busy:        reg.Gauge(MetricWorkersBusy),
+		depth:       reg.Gauge(MetricQueueDepth),
+		wall:        reg.Histogram(MetricCellWallTime),
+	}
 }
 
 // Runner executes submitted cells on a bounded worker pool. Submit all
@@ -121,6 +174,7 @@ type Options struct {
 // artifacts can be emitted as their inputs complete.
 type Runner struct {
 	opts Options
+	met  runnerMetrics
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -128,6 +182,8 @@ type Runner struct {
 	cells     map[string]*pending // every submitted cell, by key
 	live      int                 // worker goroutines currently running
 	open      int                 // dispatched cells not yet finished
+	done      int                 // cells published (any outcome)
+	total     int                 // cells submitted
 	storeErrs []error             // checkpoint I/O problems (non-fatal per cell)
 }
 
@@ -147,7 +203,7 @@ func New(opts Options) *Runner {
 	if opts.Jobs <= 0 {
 		opts.Jobs = runtime.GOMAXPROCS(0)
 	}
-	r := &Runner{opts: opts, cells: map[string]*pending{}}
+	r := &Runner{opts: opts, met: newRunnerMetrics(opts.Metrics), cells: map[string]*pending{}}
 	r.cond = sync.NewCond(&r.mu)
 	if ctx := opts.Context; ctx != nil {
 		// Cancel queued cells promptly, not only when a worker next looks
@@ -165,6 +221,18 @@ func New(opts Options) *Runner {
 
 // BaseSeed returns the campaign's base seed.
 func (r *Runner) BaseSeed() uint64 { return r.opts.BaseSeed }
+
+// Jobs returns the campaign's worker-pool width.
+func (r *Runner) Jobs() int { return r.opts.Jobs }
+
+// Progress returns the number of cells published so far (any outcome —
+// success, checkpoint restore, failure or cancellation) and the total
+// submitted. Safe to call concurrently; progress reporters poll it.
+func (r *Runner) Progress() (done, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done, r.total
+}
 
 // cancelErr builds the error published on cells the cancellation dropped.
 func (r *Runner) cancelErr() error {
@@ -191,7 +259,10 @@ func (r *Runner) cancelQueuedLocked() {
 		p.err = err
 		p.done = true
 		r.open--
+		r.done++
 	}
+	r.met.cancelled.Add(uint64(len(r.queue)))
+	r.met.depth.Add(-int64(len(r.queue)))
 	r.queue = nil
 	r.cond.Broadcast()
 }
@@ -218,16 +289,25 @@ func (r *Runner) Submit(cells ...Cell) {
 		c.Config.Seed = sim.DeriveSeed(r.opts.BaseSeed, c.Key)
 		p := &pending{cell: c}
 		r.cells[c.Key] = p
+		r.total++
 		if st := r.opts.Store; st != nil {
 			p.fp = store.Fingerprint(r.opts.BaseSeed, c.Key, c.Config)
 			res, err := st.Load(p.fp)
-			if err != nil {
+			switch {
+			case err != nil:
 				// Unreadable or corrupt checkpoint: re-run the cell (the
 				// safe direction) and surface the problem through Wait.
 				r.storeErrs = append(r.storeErrs, fmt.Errorf("cell %q: %w", c.Key, err))
+				r.met.ckptCorrupt.Inc()
+			case res != nil:
+				r.met.ckptHit.Inc()
+			default:
+				r.met.ckptMiss.Inc()
 			}
 			if res != nil {
 				p.res, p.done = res, true
+				r.done++
+				r.met.completed.Inc()
 				restored = append(restored, c.Key)
 				continue
 			}
@@ -235,10 +315,13 @@ func (r *Runner) Submit(cells ...Cell) {
 		if r.cancelled() {
 			p.err = r.cancelErr()
 			p.done = true
+			r.done++
+			r.met.cancelled.Inc()
 			continue
 		}
 		r.queue = append(r.queue, p)
 		r.open++
+		r.met.depth.Inc()
 		if r.live < r.opts.Jobs {
 			r.live++
 			go r.worker()
@@ -267,8 +350,23 @@ func (r *Runner) worker() {
 		p := r.queue[0]
 		r.queue = r.queue[1:]
 		r.mu.Unlock()
+		r.met.depth.Dec()
+		r.met.started.Inc()
+		r.met.busy.Inc()
 
+		begin := time.Now()
 		res, err := r.runCell(p.cell)
+		r.met.wall.Observe(time.Since(begin))
+		r.met.busy.Dec()
+		if err == nil {
+			r.met.completed.Inc()
+		} else {
+			r.met.failed.Inc()
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				r.met.panics.Inc()
+			}
+		}
 		if err == nil && r.opts.Store != nil {
 			if serr := r.opts.Store.Save(p.fp, res); serr != nil {
 				r.mu.Lock()
@@ -281,6 +379,7 @@ func (r *Runner) worker() {
 		p.res, p.err = res, err
 		p.done = true
 		r.open--
+		r.done++
 		r.cond.Broadcast()
 		// Invoke the callback only after the outcome is published, and
 		// outside the lock: a callback that calls Result on its own key,

@@ -19,6 +19,14 @@ import (
 	"path/filepath"
 
 	"wdmlat/internal/core"
+	"wdmlat/internal/metrics"
+)
+
+// Metric names the store publishes once instrumented (see Instrument).
+const (
+	MetricReads           = "store_reads"              // checkpoints successfully loaded
+	MetricWrites          = "store_writes"             // checkpoints successfully persisted
+	MetricFingerprintMiss = "store_fingerprint_misses" // lookups with no stored entry
 )
 
 // Store is an on-disk per-cell result store. Methods are safe for
@@ -27,6 +35,11 @@ import (
 // leaves a truncated checkpoint behind under the final name.
 type Store struct {
 	dir string
+
+	// Telemetry handles (nil-safe no-ops until Instrument is called).
+	// Strictly out-of-band: counters never influence what is read or
+	// written, only report it.
+	reads, writes, misses *metrics.Counter
 }
 
 // Open creates (if needed) and opens a checkpoint directory.
@@ -39,6 +52,15 @@ func Open(dir string) (*Store, error) {
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Instrument attaches the store's telemetry counters to reg. Call before
+// the store is shared with campaign workers; a nil registry leaves the
+// counters as no-ops.
+func (s *Store) Instrument(reg *metrics.Registry) {
+	s.reads = reg.Counter(MetricReads)
+	s.writes = reg.Counter(MetricWrites)
+	s.misses = reg.Counter(MetricFingerprintMiss)
+}
 
 // Fingerprint identifies one cell's result content: SHA-256 over the
 // result codec version (which stands in for "code version" — it is bumped
@@ -70,6 +92,7 @@ func (s *Store) path(fp string) string {
 func (s *Store) Load(fp string) (*core.Result, error) {
 	f, err := os.Open(s.path(fp))
 	if errors.Is(err, fs.ErrNotExist) {
+		s.misses.Inc()
 		return nil, nil
 	}
 	if err != nil {
@@ -80,6 +103,7 @@ func (s *Store) Load(fp string) (*core.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: checkpoint %s: %w", fp, err)
 	}
+	s.reads.Inc()
 	return res, nil
 }
 
@@ -107,5 +131,6 @@ func (s *Store) Save(fp string, res *core.Result) error {
 	if err := os.Rename(tmp.Name(), s.path(fp)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.writes.Inc()
 	return nil
 }

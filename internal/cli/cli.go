@@ -1,6 +1,8 @@
 // Package cli holds small helpers shared by the cmd/ tools: flag parsing
 // for OS and workload names, campaign signal handling, checkpoint-store
-// opening, and the shared campaign failure exit path.
+// opening, the shared campaign failure exit path, and the observability
+// surface (metrics registry, -progress reporter, -telemetry snapshot and
+// profiling hooks — see Obs).
 package cli
 
 import (
@@ -15,6 +17,7 @@ import (
 
 	"wdmlat/internal/campaign"
 	"wdmlat/internal/campaign/store"
+	"wdmlat/internal/metrics"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/workload"
 )
@@ -28,13 +31,19 @@ func SignalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
-// OpenStore opens the checkpoint store for a -checkpoint flag value; an
-// empty dir (flag unset) disables checkpointing and returns (nil, nil).
-func OpenStore(dir string) (*store.Store, error) {
+// OpenStore opens the checkpoint store for a -checkpoint flag value and
+// attaches its telemetry counters to reg (nil disables them); an empty dir
+// (flag unset) disables checkpointing and returns (nil, nil).
+func OpenStore(dir string, reg *metrics.Registry) (*store.Store, error) {
 	if dir == "" {
 		return nil, nil
 	}
-	return store.Open(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	st.Instrument(reg)
+	return st, nil
 }
 
 // ReportFailures writes every failed cell — with panic stacks, when the
@@ -51,11 +60,19 @@ func ReportFailures(w io.Writer, name string, failures []campaign.Failure) {
 
 // FailCampaign is the cmds' shared campaign fatal path: it reports err,
 // waits for in-flight cells to drain (so their checkpoints flush — the
-// cancellation contract), names every failed cell, and exits non-zero.
-func FailCampaign(name string, run *campaign.Runner, err error) {
+// cancellation contract), names every failed cell, flushes the
+// observability surface (a failed campaign's telemetry snapshot is exactly
+// the artifact that attributes the failure), and exits non-zero. obs may
+// be nil.
+func FailCampaign(name string, run *campaign.Runner, obs *Obs, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	_ = run.Wait()
 	ReportFailures(os.Stderr, name, run.Failed())
+	if obs != nil {
+		if cerr := obs.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, cerr)
+		}
+	}
 	os.Exit(1)
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"wdmlat/internal/campaign"
+	"wdmlat/internal/metrics"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/workload"
 )
@@ -73,11 +74,11 @@ func TestParseWorkloadList(t *testing.T) {
 }
 
 func TestOpenStore(t *testing.T) {
-	if st, err := OpenStore(""); st != nil || err != nil {
+	if st, err := OpenStore("", nil); st != nil || err != nil {
 		t.Fatalf("empty dir: (%v, %v), want (nil, nil)", st, err)
 	}
 	dir := t.TempDir() + "/ckpt"
-	st, err := OpenStore(dir)
+	st, err := OpenStore(dir, metrics.NewRegistry())
 	if err != nil || st == nil || st.Dir() != dir {
 		t.Fatalf("OpenStore(%q) = (%v, %v)", dir, st, err)
 	}

@@ -122,8 +122,8 @@ type Kernel struct {
 	// CPU occupancy above thread level.
 	stack    []*activity
 	episodes []*pendingEpisode
-	actFree  []*activity        // recycled activity records
-	epFree   []*pendingEpisode  // recycled pending-episode records
+	actFree  []*activity       // recycled activity records
+	epFree   []*pendingEpisode // recycled pending-episode records
 	epLabels map[epLabelKey]epLabelVal
 
 	// Interrupt state.

@@ -1,0 +1,333 @@
+// Package metrics is the runtime's operational telemetry registry: named
+// counters, gauges (with high-watermarks) and wall-time histograms that the
+// campaign runner, the checkpoint store and the experiment binaries update
+// while a campaign executes. It is the same argument the paper makes about
+// operating systems, turned on ourselves: a mean "the campaign took 40 s"
+// hides exactly the behavior that matters (one straggler cell, a cold
+// checkpoint store, a starved worker pool), so the runner's own behavior is
+// kept as full distributions and counters, exportable as a JSON snapshot.
+//
+// The registry is strictly out-of-band. Nothing in the simulation reads a
+// metric, metrics never feed seeds or scheduling decisions, and the
+// campaign's determinism contract (byte-identical artifacts at any -jobs,
+// with telemetry on or off) is therefore preserved by construction — a
+// property the campaign test suite pins down.
+//
+// Everything is stdlib-only and concurrency-safe. Instrument handles are
+// nil-safe: methods on a nil *Counter/*Gauge/*Histogram (as handed out by a
+// nil *Registry) are no-ops, so instrumented code needs no "is telemetry
+// on?" branches at the call sites.
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
+)
+
+// wallFreq is the "clock frequency" wall-time histograms are kept at:
+// 1 GHz, so one histogram cycle is one nanosecond and stats.Histogram's
+// log-scale bucketing (16 buckets/octave over 40 octaves) spans 1 ns to
+// ~18 minutes at ~4.4% relative resolution — ample for per-cell wall times.
+const wallFreq = sim.Freq(1e9)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. It is a no-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level (queue depth, busy workers) that also
+// tracks its high-watermark: a snapshot taken after a campaign drains would
+// otherwise always read 0, which is precisely the uninformative number this
+// package exists to avoid.
+type Gauge struct {
+	mu   sync.Mutex
+	v    int64
+	high int64
+}
+
+// Add moves the gauge by delta (negative to decrease). No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += delta
+	if g.v > g.high {
+		g.high = g.v
+	}
+	g.mu.Unlock()
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set replaces the gauge's value. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	if v > g.high {
+		g.high = v
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Max returns the high-watermark (0 on a nil gauge).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.high
+}
+
+// Histogram is a wall-time distribution on the log-scale bucketing of
+// internal/stats, locked for concurrent observers (stats.Histogram itself
+// is single-writer).
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Observe records one duration. Negative durations (a clock stepped under
+// us) clamp to zero rather than poisoning the histogram. No-op on nil.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.h.Add(sim.Cycles(d.Nanoseconds()))
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.N()
+}
+
+// Mean returns the mean observed duration (0 on a nil or empty histogram).
+func (h *Histogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.h.Mean())
+}
+
+// Quantile returns the q-quantile at bucket resolution (0 on nil).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return wallFreq.Duration(h.h.Quantile(q))
+}
+
+// Registry holds the named instruments. The zero value is not usable; call
+// NewRegistry. A nil *Registry is a valid "telemetry off" registry: its
+// getters return nil instruments whose methods are no-ops.
+type Registry struct {
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. The same name always returns the same counter. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the wall-time histogram with the given name, creating
+// it on first use. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{h: stats.NewHistogram(wallFreq)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeSnapshot is a gauge's exported state.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// HistogramSnapshot is a wall-time histogram's exported summary, in
+// milliseconds (quantiles at bucket resolution, ~4.4%).
+type HistogramSnapshot struct {
+	Count  uint64  `json:"count"`
+	MinMS  float64 `json:"min_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// Snapshot is a point-in-time export of a registry. Its JSON encoding is
+// deterministic: encoding/json marshals map keys in sorted order, and all
+// struct fields marshal in declaration order, so two registries that saw
+// the same updates export byte-identical snapshots regardless of the order
+// instruments were created or updated in.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument's current state. Safe to call while
+// writers are active; each instrument is read atomically (the snapshot as a
+// whole is not a single atomic cut, which is fine for telemetry).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]GaugeSnapshot{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for k, v := range r.ctrs {
+		ctrs[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range ctrs {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+	}
+	for name, h := range hists {
+		h.mu.Lock()
+		hs := HistogramSnapshot{
+			Count:  h.h.N(),
+			MinMS:  wallFreq.Millis(h.h.Min()),
+			MaxMS:  wallFreq.Millis(h.h.Max()),
+			MeanMS: h.h.Mean() / 1e6,
+			P50MS:  wallFreq.Millis(h.h.Quantile(0.5)),
+			P90MS:  wallFreq.Millis(h.h.Quantile(0.9)),
+			P99MS:  wallFreq.Millis(h.h.Quantile(0.99)),
+		}
+		h.mu.Unlock()
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the registry's snapshot to w as indented JSON with
+// deterministic key ordering, terminated by a newline.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterBasics: counters accumulate and identical names alias the same
+// instrument.
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cells")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("cells").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("cells") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	if got := r.Counter("other").Value(); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+}
+
+// TestGaugeWatermark: a gauge that rises and fully drains still reports its
+// high-watermark — the property that makes end-of-campaign snapshots of
+// queue depth and busy workers informative.
+func TestGaugeWatermark(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	for i := 0; i < 7; i++ {
+		g.Inc()
+	}
+	for i := 0; i < 7; i++ {
+		g.Dec()
+	}
+	if v := g.Value(); v != 0 {
+		t.Fatalf("drained gauge value = %d, want 0", v)
+	}
+	if m := g.Max(); m != 7 {
+		t.Fatalf("gauge max = %d, want 7", m)
+	}
+	g.Set(-3)
+	if v, m := g.Value(), g.Max(); v != -3 || m != 7 {
+		t.Fatalf("after Set(-3): value %d max %d, want -3 and 7", v, m)
+	}
+}
+
+// TestHistogramObserve: durations land in the wall-time histogram with
+// sane count/mean/quantile readings, and negative observations clamp.
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wall")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	h.Observe(-time.Second) // clamps to 0, must not panic
+	if n := h.Count(); n != 101 {
+		t.Fatalf("count = %d, want 101", n)
+	}
+	mean := h.Mean()
+	if mean < 40*time.Millisecond || mean > 60*time.Millisecond {
+		t.Fatalf("mean = %v, want ~50ms", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms", p50)
+	}
+	if q99, q50 := h.Quantile(0.99), h.Quantile(0.5); q99 < q50 {
+		t.Fatalf("quantiles not monotone: p99 %v < p50 %v", q99, q50)
+	}
+}
+
+// TestNilRegistrySafe: a nil registry hands out nil instruments whose
+// methods are no-ops — the "telemetry off" mode instrumented code relies on
+// having zero branches at call sites.
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Inc()
+	r.Gauge("g").Dec()
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(time.Second)
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	if v, m := r.Gauge("g").Value(), r.Gauge("g").Max(); v != 0 || m != 0 {
+		t.Fatalf("nil gauge value/max = %d/%d", v, m)
+	}
+	if n := r.Histogram("h").Count(); n != 0 {
+		t.Fatalf("nil histogram count = %d", n)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+}
+
+// TestSnapshotDeterministic: two registries that saw the same updates —
+// applied in different creation and update orders — export byte-identical
+// JSON. This is the deterministic-key-ordering contract the telemetry
+// artifacts depend on.
+func TestSnapshotDeterministic(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+
+	a.Counter("alpha").Add(2)
+	a.Counter("beta").Add(5)
+	a.Gauge("depth").Set(4)
+	a.Histogram("wall").Observe(3 * time.Millisecond)
+	a.Histogram("wall").Observe(9 * time.Millisecond)
+
+	b.Histogram("wall").Observe(3 * time.Millisecond)
+	b.Gauge("depth").Set(4)
+	b.Counter("beta").Add(5)
+	b.Histogram("wall").Observe(9 * time.Millisecond)
+	b.Counter("alpha").Add(2)
+
+	var ja, jb bytes.Buffer
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	// The export must round-trip as JSON with the expected sections.
+	var s Snapshot
+	if err := json.Unmarshal(ja.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if s.Counters["alpha"] != 2 || s.Counters["beta"] != 5 {
+		t.Fatalf("decoded counters wrong: %+v", s.Counters)
+	}
+	if s.Gauges["depth"].Value != 4 || s.Gauges["depth"].Max != 4 {
+		t.Fatalf("decoded gauge wrong: %+v", s.Gauges["depth"])
+	}
+	if s.Histograms["wall"].Count != 2 {
+		t.Fatalf("decoded histogram wrong: %+v", s.Histograms["wall"])
+	}
+}
+
+// TestRegistryConcurrent hammers one counter, gauge and histogram from many
+// goroutines; the counter total must be exact, and the race detector (make
+// race) turns any unsynchronized access into a failure.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("hits").Inc()
+				r.Gauge("busy").Inc()
+				r.Histogram("wall").Observe(time.Microsecond)
+				r.Gauge("busy").Dec()
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("hits").Value(); v != workers*per {
+		t.Fatalf("counter = %d, want %d", v, workers*per)
+	}
+	if n := r.Histogram("wall").Count(); n != workers*per {
+		t.Fatalf("histogram count = %d, want %d", n, workers*per)
+	}
+	if v := r.Gauge("busy").Value(); v != 0 {
+		t.Fatalf("drained gauge = %d, want 0", v)
+	}
+	if m := r.Gauge("busy").Max(); m < 1 || m > workers {
+		t.Fatalf("gauge max = %d, want within [1,%d]", m, workers)
+	}
+}

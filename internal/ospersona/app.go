@@ -39,8 +39,8 @@ type App struct {
 	// creation. Ops are executed millions of times per collection, so the
 	// run loop passes these stable funcs to tc.Do instead of constructing a
 	// capture per op.
-	op       Op   // current op, set by popFn
-	ioBytes  int  // fileSync arguments for ioFn
+	op       Op  // current op, set by popFn
+	ioBytes  int // fileSync arguments for ioFn
 	ioWrite  bool
 	popFn    func()
 	finishFn func()

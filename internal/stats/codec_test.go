@@ -60,9 +60,9 @@ func TestHistogramCodecEmpty(t *testing.T) {
 // silently producing a broken histogram.
 func TestHistogramCodecRejectsBadInput(t *testing.T) {
 	for _, bad := range []string{
-		`{"freq":0,"n":0}`,                         // non-positive frequency
-		`{"freq":300000000,"counts":{"99999":1}}`,  // bucket index out of range
-		`{"freq":300000000,"counts":{"-1":1}}`,     // negative bucket index
+		`{"freq":0,"n":0}`,                        // non-positive frequency
+		`{"freq":300000000,"counts":{"99999":1}}`, // bucket index out of range
+		`{"freq":300000000,"counts":{"-1":1}}`,    // negative bucket index
 	} {
 		if err := json.Unmarshal([]byte(bad), new(Histogram)); err == nil {
 			t.Errorf("decode of %s succeeded, want error", bad)
