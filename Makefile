@@ -16,11 +16,11 @@ NEW  ?= BENCH_1.json
 # coverage grows, never lower it to make a failure go away.
 COVER_FLOOR ?= 85.0
 
-.PHONY: all check lint vet build test race substrate failure-paths cover smoke resume-smoke bench bench-smoke bench-compare reproduce clean
+.PHONY: all check lint vet build test race substrate failure-paths service cover smoke resume-smoke serve-smoke bench bench-smoke bench-compare reproduce clean
 
 all: check
 
-check: lint build test race substrate failure-paths
+check: lint build test race substrate failure-paths service
 
 # lint: formatting is enforced, not advisory — gofmt drift fails the gate,
 # and go vet runs under the same umbrella so `make lint` is the one cheap
@@ -57,6 +57,15 @@ substrate:
 # detector is load-bearing here, not belt-and-braces.
 failure-paths:
 	$(GO) test -race -run 'TestPanicking|TestCancelled|TestResume|TestCollectTwice|TestOnCellDone|TestCheckpointRestore' ./internal/campaign/...
+
+# service: the campaign-service suite under -race — server admission /
+# overload / dedup / shutdown-drain paths, client retry/backoff and
+# resumable watch, and the end-to-end byte-identity guarantee (server
+# result bytes == local campaign bytes, cold and warm cache). The server
+# interleaves HTTP handlers, executor goroutines and campaign workers, so
+# -race is load-bearing here too.
+service:
+	$(GO) test -race ./internal/api/... ./internal/server/... ./internal/client/...
 
 # cover: the coverage gate for the campaign runtime + metrics registry.
 # Produces cover.out (the CI job uploads it) and fails if total statement
@@ -106,6 +115,14 @@ resume-smoke:
 	@echo "resume-smoke: resumed artifacts byte-identical to uninterrupted run"
 	rm -rf results-resume-smoke
 
+# serve-smoke: end-to-end campaign-service smoke — start latserved, submit
+# via latctl, diff the fetched result against a local cmd/reproduce run
+# (byte identity), assert duplicate submissions dedup, then restart the
+# server on the same cache directory and assert the re-served result is a
+# pure cache hit (0 cells executed) via /metrics.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # bench: record the substrate and experiment benchmarks into $(NEW). Compare
 # against the committed pre-optimisation baseline $(BASE) with bench-compare.
 bench:
@@ -128,4 +145,4 @@ reproduce:
 	$(GO) run ./cmd/reproduce -duration 30m -runs 3
 
 clean:
-	rm -rf results-smoke results-resume-smoke cover.out
+	rm -rf results-smoke results-resume-smoke results-serve-smoke cover.out

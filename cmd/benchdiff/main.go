@@ -21,6 +21,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"wdmlat/internal/cli"
 )
 
 // testEvent is the subset of the `go test -json` event stream benchdiff
@@ -193,6 +195,7 @@ func main() {
 	newer := flag.String("new", "BENCH_1.json", "candidate bench record")
 	maxRegress := flag.Float64("max-regress", 0.10,
 		"maximum tolerated ns/op regression as a fraction (0.10 = 10%)")
+	cli.AddVersionFlag("benchdiff", flag.CommandLine)
 	flag.Parse()
 
 	baseRes, err := parseBenchFile(*base)

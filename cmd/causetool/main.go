@@ -25,6 +25,7 @@ func main() {
 	osFlag := flag.String("os", "win98", "operating system (NT requires -nmi: no legacy IDT patching)")
 	nmi := flag.Bool("nmi", false, "sample via performance-counter NMIs (§6.1) instead of the PIT hook")
 	walk := flag.Bool("walkstack", false, "record call trees instead of single frames (§6.1)")
+	cli.AddVersionFlag("causetool", flag.CommandLine)
 	flag.Parse()
 
 	osSel, err := cli.ParseOS(*osFlag)

@@ -23,6 +23,7 @@ func main() {
 	wlFlag := flag.String("workload", "business", "concurrent stress class")
 	duration := flag.Duration("duration", 5*time.Minute, "virtual collection time")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	cli.AddVersionFlag("interactive", flag.CommandLine)
 	flag.Parse()
 
 	wl, err := cli.ParseWorkload(*wlFlag)

@@ -46,6 +46,7 @@ func main() {
 	oracle := flag.Bool("oracle", false, "plot ground-truth DPC-interrupt latency instead of the tool's estimate")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	obs := cli.NewObs("latbench", flag.CommandLine)
+	cli.AddVersionFlag("latbench", flag.CommandLine)
 	flag.Parse()
 	fatal(obs.Start())
 

@@ -1,0 +1,99 @@
+// latserved serves measurement campaigns over HTTP: POST an OS×workload
+// cell matrix to /v1/campaigns, watch its NDJSON progress stream, and
+// fetch a result byte-identical to running the same campaign locally.
+// Campaigns are content-addressed, so identical submissions — concurrent
+// or repeated — share one execution, and with -cache the per-cell results
+// persist across restarts under their checkpoint-store fingerprints (the
+// same files a local `reproduce -checkpoint` run reads and writes).
+//
+// Endpoints:
+//
+//	POST   /v1/campaigns             submit {base_seed, cells:[{key,config}]}
+//	GET    /v1/campaigns/{id}        status
+//	DELETE /v1/campaigns/{id}        cancel
+//	GET    /v1/campaigns/{id}/result exact core.EncodeResult stream (NDJSON)
+//	GET    /v1/campaigns/{id}/events progress events (NDJSON, ?from= resume)
+//	GET    /healthz                  liveness
+//	GET    /metrics                  internal/metrics registry snapshot
+//
+// Admission is bounded (-queue): when the queue is full the server answers
+// 429 with Retry-After instead of blocking. SIGINT/SIGTERM shut down
+// gracefully — running cells drain through the checkpoint path, then the
+// listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"wdmlat/internal/campaign/store"
+	"wdmlat/internal/cli"
+	"wdmlat/internal/metrics"
+	"wdmlat/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	cache := flag.String("cache", "latserved-cache", "content-addressed result cache directory (empty disables caching)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers per campaign")
+	queue := flag.Int("queue", 16, "max campaigns admitted but not yet running (beyond it: 429)")
+	campaigns := flag.Int("campaigns", 1, "campaigns executing concurrently")
+	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429 responses")
+	drain := flag.Duration("drain", time.Minute, "shutdown grace for open HTTP connections after jobs drain")
+	cli.AddVersionFlag("latserved", flag.CommandLine)
+	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	var st *store.Store
+	if *cache != "" {
+		var err error
+		st, err = store.Open(*cache)
+		if err != nil {
+			fail(err)
+		}
+		st.Instrument(reg)
+	}
+	srv := server.New(server.Options{
+		Jobs:        *jobs,
+		QueueLimit:  *queue,
+		Concurrency: *campaigns,
+		RetryAfter:  *retryAfter,
+		Store:       st,
+		Metrics:     reg,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "latserved: shutting down: draining running campaigns")
+		// Drain jobs first: their terminal events end any open watch
+		// streams, so the HTTP shutdown below does not wait on them.
+		srv.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "latserved: shutdown:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "latserved: listening on %s (cache %q, %d workers/campaign, queue %d)\n",
+		*addr, *cache, *jobs, *queue)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	<-ctx.Done() // ListenAndServe returned because Shutdown ran; let it finish
+	srv.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "latserved:", err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"wdmlat/internal/cli"
 	"wdmlat/internal/core"
 	"wdmlat/internal/microbench"
 	"wdmlat/internal/ospersona"
@@ -23,6 +24,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	contrast := flag.Bool("contrast", true, "also show loaded worst cases for contrast")
 	win2k := flag.Bool("win2000", false, "include the Windows 2000 Beta personality")
+	cli.AddVersionFlag("microbench", flag.CommandLine)
 	flag.Parse()
 
 	oses := []ospersona.OS{ospersona.NT4, ospersona.Win98}

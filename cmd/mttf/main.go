@@ -38,6 +38,7 @@ func main() {
 	validate := flag.Bool("validate", false, "cross-check one point per class against direct datapump simulation")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	obs := cli.NewObs("mttf", flag.CommandLine)
+	cli.AddVersionFlag("mttf", flag.CommandLine)
 	flag.Parse()
 	fatal(obs.Start())
 

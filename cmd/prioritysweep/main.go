@@ -29,6 +29,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	obs := cli.NewObs("prioritysweep", flag.CommandLine)
+	cli.AddVersionFlag("prioritysweep", flag.CommandLine)
 	flag.Parse()
 
 	wl := workload.Business

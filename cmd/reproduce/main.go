@@ -58,7 +58,9 @@ func main() {
 	runs := flag.Int("runs", 1, "replicas pooled per cell")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
+	encodeOut := flag.String("encode", "", "also write the default matrix's raw per-cell results (exact codec bytes, cell order) to this file — the stream latserved serves for the same campaign")
 	obs := cli.NewObs("reproduce", flag.CommandLine)
+	cli.AddVersionFlag("reproduce", flag.CommandLine)
 	flag.Parse()
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -149,6 +151,24 @@ func main() {
 			}
 			byOS[osSel][wl] = res
 		}
+	}
+
+	// The -encode stream: the default matrix's replica cells, raw (not
+	// pooled), in MatrixCells order — exactly the byte stream the campaign
+	// service serves for this campaign, which serve-smoke diffs.
+	if *encodeOut != "" {
+		emit(filepath.Dir(*encodeOut), filepath.Base(*encodeOut), func(w io.Writer) error {
+			for _, cell := range campaign.MatrixCells(oses, workload.Classes, "default", base, *runs) {
+				res, err := run.Result(cell.Key)
+				if err != nil {
+					return err
+				}
+				if err := core.EncodeResult(w, res); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	}
 
 	// Figure 4 panels per OS.

@@ -23,6 +23,7 @@ func main() {
 	wlFlag := flag.String("workload", "games", "stress class providing the latency distribution")
 	duration := flag.Duration("duration", 10*time.Minute, "virtual collection time")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	cli.AddVersionFlag("rma", flag.CommandLine)
 	flag.Parse()
 
 	osSel, err := cli.ParseOS(*osFlag)

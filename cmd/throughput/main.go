@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"wdmlat/internal/cli"
 	"wdmlat/internal/core"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/report"
@@ -18,6 +19,7 @@ import (
 func main() {
 	units := flag.Int("units", 200, "benchmark script size (user-action units)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	cli.AddVersionFlag("throughput", flag.CommandLine)
 	flag.Parse()
 
 	nt := core.RunThroughput(ospersona.NT4, *units, *seed)

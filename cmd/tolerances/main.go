@@ -4,13 +4,17 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"wdmlat/internal/cli"
 	"wdmlat/internal/figures"
 )
 
 func main() {
+	cli.AddVersionFlag("tolerances", flag.CommandLine)
+	flag.Parse()
 	if err := figures.Table1().Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tolerances:", err)
 		os.Exit(1)

@@ -33,6 +33,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	obs := cli.NewObs("worstcase", flag.CommandLine)
+	cli.AddVersionFlag("worstcase", flag.CommandLine)
 	flag.Parse()
 
 	osSel, err := cli.ParseOS(*osFlag)

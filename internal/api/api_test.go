@@ -1,0 +1,105 @@
+package api
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wdmlat/internal/core"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/workload"
+)
+
+func spec() *CampaignSpec {
+	return &CampaignSpec{
+		BaseSeed: 7,
+		Cells: []CellSpec{
+			{Key: "nt4/business/default/0", Config: core.RunConfig{OS: ospersona.NT4, Workload: workload.Business, Duration: time.Second}},
+			{Key: "win98/games/default/0", Config: core.RunConfig{OS: ospersona.Win98, Workload: workload.Games, Duration: time.Second}},
+		},
+	}
+}
+
+func TestCampaignIDStable(t *testing.T) {
+	a, b := CampaignID(spec()), CampaignID(spec())
+	if a != b {
+		t.Fatalf("same spec hashed differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("want a full sha256 hex id, got %q", a)
+	}
+}
+
+func TestCampaignIDCoversContent(t *testing.T) {
+	base := CampaignID(spec())
+
+	s := spec()
+	s.BaseSeed = 8
+	if CampaignID(s) == base {
+		t.Error("changing the base seed did not change the id")
+	}
+
+	s = spec()
+	s.Cells[1].Config.Duration = 2 * time.Second
+	if CampaignID(s) == base {
+		t.Error("changing a cell config did not change the id")
+	}
+
+	s = spec()
+	s.Cells[0], s.Cells[1] = s.Cells[1], s.Cells[0]
+	if CampaignID(s) == base {
+		t.Error("reordering cells did not change the id (result stream order differs)")
+	}
+
+	// The cell's own Seed field must NOT matter: the runner overwrites it
+	// with the derived seed, so two specs differing only there are the
+	// same campaign.
+	s = spec()
+	s.Cells[0].Config.Seed = 999
+	if CampaignID(s) != base {
+		t.Error("a submitted cell Seed (which the runner ignores) changed the id")
+	}
+}
+
+func TestSeedDefaultsToOne(t *testing.T) {
+	s := spec()
+	s.BaseSeed = 0
+	zero := CampaignID(s)
+	s.BaseSeed = 1
+	if CampaignID(s) != zero {
+		t.Error("seed 0 and seed 1 should be the same campaign (the runner defaults 0 to 1)")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := spec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	s := &CampaignSpec{}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "no cells") {
+		t.Errorf("empty spec: got %v", err)
+	}
+	s = spec()
+	s.Cells[1].Key = ""
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "empty key") {
+		t.Errorf("empty key: got %v", err)
+	}
+	s = spec()
+	s.Cells[1].Key = s.Cells[0].Key
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate key: got %v", err)
+	}
+}
+
+func TestTerminalState(t *testing.T) {
+	for _, st := range []string{StateDone, StateFailed, StateCancelled} {
+		if !TerminalState(st) {
+			t.Errorf("%s should be terminal", st)
+		}
+	}
+	for _, st := range []string{StateQueued, StateRunning, ""} {
+		if TerminalState(st) {
+			t.Errorf("%s should not be terminal", st)
+		}
+	}
+}

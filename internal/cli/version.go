@@ -1,0 +1,57 @@
+package cli
+
+// The shared -version flag: every cmd binary reports the same build
+// identity (module path + VCS revision stamped by the go toolchain), so a
+// results directory or a server's logs can always be traced back to the
+// exact code that produced them.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+)
+
+// exitFunc is swapped out by tests; production -version exits the process.
+var exitFunc = os.Exit
+
+// Version returns the build identity string: module path, VCS revision
+// (short, "+dirty" when the tree was modified at build time) and the Go
+// toolchain version. Builds without build info (rare: non-module builds)
+// report "devel".
+func Version() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	mod := info.Main.Path
+	if mod == "" {
+		mod = "wdmlat"
+	}
+	rev, dirty := "unknown", ""
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	return fmt.Sprintf("%s %s%s (%s)", mod, rev, dirty, info.GoVersion)
+}
+
+// AddVersionFlag registers -version on fs: when set, parsing prints
+// "<name> <Version()>" and exits 0, so binaries need only this one call
+// before their flag.Parse().
+func AddVersionFlag(name string, fs *flag.FlagSet) {
+	fs.BoolFunc("version", "print version (module path + VCS revision) and exit", func(string) error {
+		fmt.Printf("%s %s\n", name, Version())
+		exitFunc(0)
+		return nil
+	})
+}

@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+	// Under `go test` the module path is available from build info.
+	if !strings.Contains(v, "wdmlat") {
+		t.Errorf("version %q does not name the module", v)
+	}
+}
+
+func TestAddVersionFlagPrintsAndExits(t *testing.T) {
+	exited := -1
+	orig := exitFunc
+	exitFunc = func(code int) { exited = code }
+	defer func() { exitFunc = orig }()
+
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	AddVersionFlag("sometool", fs)
+	if fs.Lookup("version") == nil {
+		t.Fatal("-version flag not registered")
+	}
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if exited != 0 {
+		t.Fatalf("want exit 0, got %d", exited)
+	}
+}

@@ -1,0 +1,532 @@
+// Package server is the latency-campaign service: a long-lived HTTP front
+// end over the internal/campaign runner that turns one-shot measurement
+// runs into submitted, queryable, cached jobs.
+//
+// The load-bearing guarantee is byte identity: the result stream served
+// for a campaign — one core.EncodeResult document per cell, in submission
+// order — is exactly what the same campaign produces locally, at any
+// worker count, whether the cells were executed or replayed from the
+// cache. That falls out of the campaign determinism contract (per-cell
+// seeds derived from the campaign seed and cell key, never from
+// scheduling) plus the exact result codec, and the test suite pins it.
+//
+// Campaigns are content-addressed (api.CampaignID over the cells' store
+// fingerprints), which collapses three mechanisms into one:
+//
+//   - in-flight deduplication: a second submission of a running campaign
+//     joins the existing job instead of executing again;
+//   - a completed-result cache: re-submitting a finished campaign returns
+//     the retained job immediately;
+//   - a durable cell cache: with a store attached, individual cells are
+//     replayed from disk across server restarts — and shared with local
+//     runs pointed at the same checkpoint directory.
+//
+// Admission is bounded: campaigns wait in a fixed-capacity queue for one
+// of a fixed number of executor slots, and a submission that finds the
+// queue full is rejected immediately with 429 and a Retry-After hint —
+// the accept loop never blocks on simulation work. Each job runs under
+// its own context (DELETE cancels just that job), and Close cancels all
+// of them, draining running cells through the campaign runner's
+// checkpoint path before returning.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wdmlat/internal/api"
+	"wdmlat/internal/campaign"
+	"wdmlat/internal/campaign/store"
+	"wdmlat/internal/core"
+	"wdmlat/internal/metrics"
+)
+
+// Metric names the server publishes on Options.Metrics, alongside the
+// campaign runner's and store's own instruments (shared registry, served
+// verbatim by /metrics).
+const (
+	MetricSubmitted    = "server_campaigns_submitted" // new jobs admitted to the queue
+	MetricDeduped      = "server_campaigns_deduped"   // submissions that joined an existing job
+	MetricRejected     = "server_campaigns_rejected"  // submissions bounced with 429 (queue full)
+	MetricCompleted    = "server_campaigns_completed" // jobs finished in state done
+	MetricFailed       = "server_campaigns_failed"    // jobs finished in state failed
+	MetricCancelled    = "server_campaigns_cancelled" // jobs finished in state cancelled
+	MetricRunning      = "server_campaigns_running"   // gauge: jobs executing right now
+	MetricQueueDepth   = "server_queue_depth"         // gauge: admitted jobs waiting for an executor
+	MetricCellsExec    = "server_cells_executed"      // cells actually simulated (cache misses)
+	MetricCampaignWall = "server_campaign_wall_time"  // histogram: per-job wall time
+)
+
+// Options configures a Server.
+type Options struct {
+	// Jobs is the per-campaign worker-pool width (campaign.Options.Jobs);
+	// <= 0 means GOMAXPROCS.
+	Jobs int
+	// QueueLimit bounds admitted-but-not-running jobs; a submission that
+	// finds the queue full gets 429. Default 16.
+	QueueLimit int
+	// Concurrency is how many campaigns execute at once. Default 1: one
+	// campaign already saturates Jobs workers, and serial execution keeps
+	// the measurement host's load — the thing the paper says perturbs
+	// latency — predictable.
+	Concurrency int
+	// MaxCells bounds the cells of one campaign (admission-time 400, so a
+	// huge spec cannot wedge an executor slot for hours). Default 4096.
+	MaxCells int
+	// RetryAfter is the hint returned with 429 responses. Default 2s.
+	RetryAfter time.Duration
+	// Store, if non-nil, is the durable content-addressed cell cache
+	// (campaign.Options.Store): executed cells are checkpointed under
+	// their fingerprints and replayed on later submissions, including
+	// across server restarts.
+	Store *store.Store
+	// Metrics receives the server's, runner's and store's telemetry; nil
+	// disables collection. /metrics serves this registry's snapshot.
+	Metrics *metrics.Registry
+	// Execute overrides the cell executor (core.Run) — tests inject
+	// blocking or instant fakes. Must stay a pure function of its config.
+	Execute func(core.RunConfig) *core.Result
+}
+
+type serverMetrics struct {
+	submitted, deduped, rejected          *metrics.Counter
+	completed, failed, cancelled, cellsEx *metrics.Counter
+	running, depth                        *metrics.Gauge
+	wall                                  *metrics.Histogram
+}
+
+// job is one content-addressed campaign. Its mutable state is guarded by
+// mu; every mutation appends an event and replaces changed, so watchers
+// block on a channel (selectable against the request context) instead of
+// a condition variable.
+type job struct {
+	id   string
+	spec api.CampaignSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   string
+	done    int
+	cached  bool
+	errMsg  string
+	result  []byte // concatenated core.EncodeResult docs, set in state done
+	events  []api.Event
+	changed chan struct{}
+}
+
+func (j *job) publishLocked(ev api.Event) {
+	ev.Seq = len(j.events)
+	ev.Done = j.done
+	ev.Total = len(j.spec.Cells)
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+func (j *job) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.publishLocked(api.Event{Type: api.EventState, State: state})
+}
+
+func (j *job) cellDone(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done++
+	j.publishLocked(api.Event{Type: api.EventCell, Key: key})
+}
+
+func (j *job) status() api.Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return api.Status{
+		ID:     j.id,
+		State:  j.state,
+		Done:   j.done,
+		Total:  len(j.spec.Cells),
+		Cached: j.cached,
+		Error:  j.errMsg,
+	}
+}
+
+// Server is the campaign service. Create with New, expose Handler on an
+// http.Server, and Close on shutdown.
+type Server struct {
+	opts Options
+	met  serverMetrics
+	mux  *http.ServeMux
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	queue  chan *job
+	closed bool
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	executors  sync.WaitGroup
+}
+
+// New returns a Server with its executor pool started.
+func New(opts Options) *Server {
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = 16
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.MaxCells <= 0 {
+		opts.MaxCells = 4096
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = 2 * time.Second
+	}
+	reg := opts.Metrics
+	s := &Server{
+		opts: opts,
+		met: serverMetrics{
+			submitted: reg.Counter(MetricSubmitted),
+			deduped:   reg.Counter(MetricDeduped),
+			rejected:  reg.Counter(MetricRejected),
+			completed: reg.Counter(MetricCompleted),
+			failed:    reg.Counter(MetricFailed),
+			cancelled: reg.Counter(MetricCancelled),
+			cellsEx:   reg.Counter(MetricCellsExec),
+			running:   reg.Gauge(MetricRunning),
+			depth:     reg.Gauge(MetricQueueDepth),
+			wall:      reg.Histogram(MetricCampaignWall),
+		},
+		jobs:  map[string]*job{},
+		queue: make(chan *job, opts.QueueLimit),
+	}
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < opts.Concurrency; i++ {
+		s.executors.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the service down gracefully: new submissions get 503, every
+// job's context is cancelled — queued cells are dropped as cancelled,
+// running cells drain to completion and checkpoint through the store —
+// and Close returns once all executors have finished draining. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.executors.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue) // safe: submissions only enqueue under mu with closed==false
+	s.mu.Unlock()
+	s.rootCancel()
+	s.executors.Wait()
+}
+
+// executor pulls admitted jobs off the queue and runs them one at a time.
+func (s *Server) executor() {
+	defer s.executors.Done()
+	for j := range s.queue {
+		s.met.depth.Dec()
+		s.runJob(j)
+	}
+}
+
+// runJob executes one campaign and publishes its terminal state.
+func (s *Server) runJob(j *job) {
+	defer j.cancel()
+	if j.ctx.Err() != nil {
+		s.finishJob(j, api.StateCancelled, nil, fmt.Sprintf("cancelled before start: %v", context.Cause(j.ctx)))
+		return
+	}
+	j.setState(api.StateRunning)
+	s.met.running.Inc()
+	begin := time.Now()
+	defer func() {
+		s.met.wall.Observe(time.Since(begin))
+		s.met.running.Dec()
+	}()
+
+	execute := s.opts.Execute
+	if execute == nil {
+		execute = core.Run
+	}
+	var executed atomic.Uint64 // cells actually simulated, to compute Cached
+	run := campaign.New(campaign.Options{
+		BaseSeed: j.spec.Seed(),
+		Jobs:     s.opts.Jobs,
+		Context:  j.ctx,
+		Store:    s.opts.Store,
+		Metrics:  s.opts.Metrics,
+		Execute: func(cfg core.RunConfig) *core.Result {
+			s.met.cellsEx.Inc()
+			executed.Add(1)
+			return execute(cfg)
+		},
+		OnCellDone: j.cellDone,
+	})
+	cells := make([]campaign.Cell, len(j.spec.Cells))
+	for i, c := range j.spec.Cells {
+		cells[i] = campaign.Cell{Key: c.Key, Config: c.Config}
+	}
+	run.Submit(cells...)
+
+	// Collect in submission order and stream each cell's exact checkpoint
+	// encoding into the result buffer — the same bytes a local runner
+	// would encode for the same campaign.
+	var buf bytes.Buffer
+	for _, c := range j.spec.Cells {
+		res, err := run.Result(c.Key)
+		if err != nil {
+			_ = run.Wait() // drain running cells so their checkpoints flush
+			state := api.StateFailed
+			if errors.Is(err, campaign.ErrCancelled) {
+				state = api.StateCancelled
+			}
+			s.finishJob(j, state, nil, err.Error())
+			return
+		}
+		if err := core.EncodeResult(&buf, res); err != nil {
+			_ = run.Wait()
+			s.finishJob(j, api.StateFailed, nil, fmt.Sprintf("encoding cell %q: %v", c.Key, err))
+			return
+		}
+	}
+	// Every cell collected; Wait only surfaces checkpoint-store I/O
+	// problems now, which fail the job loudly rather than serving a
+	// result whose cache entries silently went missing.
+	if err := run.Wait(); err != nil {
+		s.finishJob(j, api.StateFailed, nil, err.Error())
+		return
+	}
+	j.mu.Lock()
+	j.cached = executed.Load() == 0
+	j.mu.Unlock()
+	s.finishJob(j, api.StateDone, buf.Bytes(), "")
+}
+
+func (s *Server) finishJob(j *job, state string, result []byte, errMsg string) {
+	j.mu.Lock()
+	j.result = result
+	j.errMsg = errMsg
+	j.mu.Unlock()
+	j.setState(state)
+	switch state {
+	case api.StateDone:
+		s.met.completed.Inc()
+	case api.StateFailed:
+		s.met.failed.Inc()
+	case api.StateCancelled:
+		s.met.cancelled.Inc()
+	}
+}
+
+// --- HTTP handlers ---------------------------------------------------------
+
+// maxSpecBytes bounds the submission body; a full 4096-cell matrix spec is
+// well under 4 MiB.
+const maxSpecBytes = 8 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.Error{Message: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec api.CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding campaign spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(spec.Cells) > s.opts.MaxCells {
+		writeError(w, http.StatusBadRequest, "campaign has %d cells, limit %d", len(spec.Cells), s.opts.MaxCells)
+		return
+	}
+	id := api.CampaignID(&spec)
+
+	s.mu.Lock()
+	if existing, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		s.met.deduped.Inc()
+		writeJSON(w, http.StatusOK, existing.status())
+		return
+	}
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	j := &job{id: id, spec: spec, state: api.StateQueued, changed: make(chan struct{})}
+	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+	// Publish the queued event before the job is visible to an executor,
+	// so the event stream always starts with it.
+	j.publishLocked(api.Event{Type: api.EventState, State: api.StateQueued})
+	s.met.depth.Inc() // before the enqueue, so the executor's Dec never races it negative
+	select {
+	case s.queue <- j:
+	default:
+		// Queue full: reject now, with a hint, rather than ever blocking
+		// the accept loop behind simulation work.
+		s.mu.Unlock()
+		j.cancel()
+		s.met.depth.Dec()
+		s.met.rejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, "admission queue full (%d campaigns queued)", s.opts.QueueLimit)
+		return
+	}
+	s.jobs[id] = j
+	s.mu.Unlock()
+	s.met.submitted.Inc()
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, result, errMsg := j.state, j.result, j.errMsg
+	j.mu.Unlock()
+	switch {
+	case state == api.StateDone:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Content-Length", strconv.Itoa(len(result)))
+		_, _ = w.Write(result)
+	case api.TerminalState(state):
+		writeError(w, http.StatusGone, "campaign %s: %s", state, errMsg)
+	default:
+		writeError(w, http.StatusConflict, "campaign is %s; result not ready", state)
+	}
+}
+
+// handleEvents streams the job's events as NDJSON from ?from= (default 0),
+// live-following until a terminal state event has been sent or the client
+// disconnects. Seq numbers are dense, so a dropped watcher resumes with
+// from=<last seen>+1 and misses nothing.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad from=%q", v)
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := from
+	for {
+		j.mu.Lock()
+		pending := append([]api.Event(nil), j.events[min(next, len(j.events)):]...)
+		changed := j.changed
+		j.mu.Unlock()
+		terminal := false
+		for _, ev := range pending {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			next = ev.Seq + 1
+			if ev.Type == api.EventState && api.TerminalState(ev.State) {
+				terminal = true
+			}
+		}
+		if len(pending) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.opts.Metrics.WriteJSON(w)
+}
