@@ -16,11 +16,11 @@ NEW  ?= BENCH_1.json
 # coverage grows, never lower it to make a failure go away.
 COVER_FLOOR ?= 85.0
 
-.PHONY: all check lint vet build test race substrate failure-paths service cover smoke resume-smoke serve-smoke bench bench-smoke bench-compare reproduce clean
+.PHONY: all check lint vet build test race substrate failure-paths service fleet-faults cover smoke resume-smoke serve-smoke horde-smoke bench bench-smoke bench-compare reproduce clean
 
 all: check
 
-check: lint build test race substrate failure-paths service
+check: lint build test race substrate failure-paths service fleet-faults
 
 # lint: formatting is enforced, not advisory — gofmt drift fails the gate,
 # and go vet runs under the same umbrella so `make lint` is the one cheap
@@ -67,11 +67,26 @@ failure-paths:
 service:
 	$(GO) test -race ./internal/api/... ./internal/server/... ./internal/client/...
 
-# cover: the coverage gate for the campaign runtime + metrics registry.
-# Produces cover.out (the CI job uploads it) and fails if total statement
-# coverage over those packages drops below COVER_FLOOR.
+# fleet-faults: the coordinator fault-injection suite and the sharding
+# determinism property under -race — silent workers, corrupt payloads,
+# duplicate completions, drain with leases outstanding, and byte-identity
+# of the merged stream across fleet sizes 1..16 with seeded churn. These
+# overlap `service` (which runs the whole packages) but are named here so
+# the distributed-execution guarantees have their own failing gate, plus
+# the backoff-schedule pin the worker loop shares with the HTTP client.
+fleet-faults:
+	$(GO) test -race -run 'TestCoordinator|TestFleetSharding|TestFleetHTTP' ./internal/server/
+	$(GO) test -race -run 'TestBackoff' ./internal/client/
+
+# cover: the coverage gate for the campaign runtime, the metrics registry,
+# and (since fleet mode) the service wire types and the server — coordinator
+# state machine included. Produces cover.out (the CI job uploads it) and
+# fails if total statement coverage over those packages drops below
+# COVER_FLOOR. (internal/client is exercised mostly by internal/server's
+# end-to-end tests, which per-package profiles do not credit, so it stays
+# outside the floor's scope.)
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/campaign/... ./internal/metrics/...
+	$(GO) test -coverprofile=cover.out ./internal/campaign/... ./internal/metrics/... ./internal/server/... ./internal/api/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
@@ -123,6 +138,14 @@ resume-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# horde-smoke: distributed-fleet smoke — latserved -fleet coordinating 4
+# real latworkd processes, one SIGKILLed mid-campaign, and the merged
+# result byte-compared against a single-process cmd/reproduce run. The
+# /metrics counters must show the worker expired and its cells
+# re-dispatched, proving the loss path actually ran.
+horde-smoke:
+	./scripts/horde_smoke.sh
+
 # bench: record the substrate and experiment benchmarks into $(NEW). Compare
 # against the committed pre-optimisation baseline $(BASE) with bench-compare.
 bench:
@@ -145,4 +168,4 @@ reproduce:
 	$(GO) run ./cmd/reproduce -duration 30m -runs 3
 
 clean:
-	rm -rf results-smoke results-resume-smoke results-serve-smoke cover.out
+	rm -rf results-smoke results-resume-smoke results-serve-smoke results-horde-smoke cover.out

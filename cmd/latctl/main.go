@@ -5,6 +5,7 @@
 //	latctl [-server URL] result  [-o file] <id>   (waits for completion)
 //	latctl [-server URL] watch   <id>             (streams progress events)
 //	latctl [-server URL] cancel  <id>
+//	latctl [-server URL] fleet                    (fleet-mode worker/lease status)
 //	latctl local [matrix flags] [-jobs N] [-o file]
 //
 // submit and local build the same campaign from the same matrix flags
@@ -59,6 +60,8 @@ func main() {
 		err = cmdWatch(ctx, c, args)
 	case "cancel":
 		err = cmdCancel(ctx, c, args)
+	case "fleet":
+		err = cmdFleet(ctx, c, args)
 	case "local":
 		err = cmdLocal(args)
 	default:
@@ -81,6 +84,7 @@ subcommands:
   result   wait for a campaign and write its result stream (exact codec bytes)
   watch    stream a campaign's progress events
   cancel   cancel a campaign
+  fleet    print a fleet-mode server's workers and lease queue
   local    run the same campaign locally, writing the identical result stream
 `)
 	flag.PrintDefaults()
@@ -235,6 +239,25 @@ func cmdCancel(ctx context.Context, c *client.Client, args []string) error {
 		return err
 	}
 	return printStatus(st)
+}
+
+// cmdFleet prints a fleet-mode coordinator's status (workers, outstanding
+// leases, queue depth) as JSON — what the horde smoke script polls to time
+// its worker kill.
+func cmdFleet(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("fleet: want no args, got %d", len(args))
+	}
+	st, err := c.Fleet(ctx)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
 }
 
 // cmdLocal executes the campaign in-process on the campaign runner and

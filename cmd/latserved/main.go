@@ -16,6 +16,18 @@
 //	GET    /healthz                  liveness
 //	GET    /metrics                  internal/metrics registry snapshot
 //
+// With -fleet the server becomes a coordinator: instead of simulating
+// in-process it shards each campaign's cells across registered latworkd
+// workers by checkpoint fingerprint, merges validated results in
+// submission order (byte-identical to a local run at any fleet size), and
+// re-dispatches the leases of workers that stop heartbeating:
+//
+//	POST   /v1/workers                    worker registration
+//	POST   /v1/workers/{id}/heartbeat     liveness (410: re-register)
+//	POST   /v1/workers/{id}/leases        claim cells
+//	POST   /v1/workers/{id}/complete      deliver a validated result
+//	GET    /v1/fleet                      fleet status (workers, leases)
+//
 // Admission is bounded (-queue): when the queue is full the server answers
 // 429 with Retry-After instead of blocking. SIGINT/SIGTERM shut down
 // gracefully — running cells drain through the checkpoint path, then the
@@ -46,6 +58,9 @@ func main() {
 	campaigns := flag.Int("campaigns", 1, "campaigns executing concurrently")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429 responses")
 	drain := flag.Duration("drain", time.Minute, "shutdown grace for open HTTP connections after jobs drain")
+	fleet := flag.Bool("fleet", false, "coordinator mode: lease cells to latworkd workers instead of simulating in-process")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "fleet: reclaim a worker's leases after this long without a heartbeat")
+	poll := flag.Duration("poll", 500*time.Millisecond, "fleet: idle-worker re-poll hint")
 	cli.AddVersionFlag("latserved", flag.CommandLine)
 	flag.Parse()
 
@@ -59,14 +74,18 @@ func main() {
 		}
 		st.Instrument(reg)
 	}
-	srv := server.New(server.Options{
+	srvOpts := server.Options{
 		Jobs:        *jobs,
 		QueueLimit:  *queue,
 		Concurrency: *campaigns,
 		RetryAfter:  *retryAfter,
 		Store:       st,
 		Metrics:     reg,
-	})
+	}
+	if *fleet {
+		srvOpts.Fleet = &server.CoordinatorOptions{LeaseTTL: *leaseTTL, Poll: *poll}
+	}
+	srv := server.New(srvOpts)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := cli.SignalContext()
@@ -84,8 +103,12 @@ func main() {
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "latserved: listening on %s (cache %q, %d workers/campaign, queue %d)\n",
-		*addr, *cache, *jobs, *queue)
+	mode := "local execution"
+	if *fleet {
+		mode = fmt.Sprintf("fleet coordinator (lease TTL %s)", *leaseTTL)
+	}
+	fmt.Fprintf(os.Stderr, "latserved: listening on %s (cache %q, %d workers/campaign, queue %d, %s)\n",
+		*addr, *cache, *jobs, *queue, mode)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}

@@ -1,0 +1,63 @@
+// latworkd is a fleet worker for latserved -fleet: it registers with the
+// coordinator, leases measurement cells by checkpoint fingerprint, runs
+// them through the exact same simulator a local campaign would, and
+// delivers each result as its canonical checkpoint encoding. Workers are
+// interchangeable by construction — every lease is verified against the
+// worker's own fingerprint derivation before it executes, so a worker
+// built from diverged code refuses work instead of corrupting a campaign.
+//
+// Run as many as the hardware allows:
+//
+//	latworkd -coord http://coordinator:8080 -name $(hostname) -cells 2
+//
+// SIGINT/SIGTERM stop leasing and let in-flight cells finish delivering.
+// Losing the coordinator (restart, network partition) is survivable: all
+// calls retry with jittered backoff, and a worker whose registration
+// expired transparently re-registers.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"wdmlat/internal/cli"
+	"wdmlat/internal/client"
+)
+
+func main() {
+	coord := flag.String("coord", "http://127.0.0.1:8080", "coordinator (latserved -fleet) base URL")
+	name := flag.String("name", "", "worker label for coordinator logs and /v1/fleet")
+	cells := flag.Int("cells", 1, "cells executing concurrently on this worker")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
+	cli.AddVersionFlag("latworkd", flag.CommandLine)
+	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	c := client.New(*coord, client.Options{})
+	opts := client.WorkerOptions{Name: *name, Cells: *cells}
+	if !*quiet {
+		opts.OnCell = func(key string, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "latworkd: cell %s: %v\n", key, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "latworkd: cell %s done\n", key)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "latworkd: joining fleet at %s (%d concurrent cells)\n", *coord, *cells)
+	err := c.RunWorker(ctx, opts)
+	switch {
+	case err == nil:
+		fmt.Fprintln(os.Stderr, "latworkd: coordinator drained; exiting")
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "latworkd: signal received; exiting")
+	default:
+		fmt.Fprintln(os.Stderr, "latworkd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+package api
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wdmlat/internal/campaign/store"
+	"wdmlat/internal/core"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/sim"
+	"wdmlat/internal/workload"
+)
+
+func testLease() Lease {
+	cfg := core.RunConfig{OS: ospersona.NT4, Workload: workload.Business, Duration: time.Second}
+	cfg.Seed = sim.DeriveSeed(7, "nt4/business/default/0")
+	return Lease{
+		Fingerprint: store.Fingerprint(7, "nt4/business/default/0", cfg),
+		BaseSeed:    7,
+		Key:         "nt4/business/default/0",
+		Config:      cfg,
+	}
+}
+
+// TestLeaseVerify: a lease whose fingerprint matches its own fields
+// verifies; perturbing any identity component breaks it.
+func TestLeaseVerify(t *testing.T) {
+	l := testLease()
+	if err := l.Verify(); err != nil {
+		t.Fatalf("pristine lease failed verification: %v", err)
+	}
+	mutations := map[string]func(*Lease){
+		"fingerprint": func(l *Lease) { l.Fingerprint = strings.Repeat("0", 64) },
+		"base seed":   func(l *Lease) { l.BaseSeed++ },
+		"key":         func(l *Lease) { l.Key = "win98/business/default/0" },
+		"config seed": func(l *Lease) { l.Config.Seed++ },
+		"duration":    func(l *Lease) { l.Config.Duration *= 2 },
+	}
+	for name, mutate := range mutations {
+		bad := testLease()
+		mutate(&bad)
+		if err := bad.Verify(); err == nil {
+			t.Errorf("lease with mutated %s verified; the fleet would run a wrong cell", name)
+		}
+	}
+}
+
+// TestCompleteRequestValidate: exactly one of result and error.
+func TestCompleteRequestValidate(t *testing.T) {
+	fp := strings.Repeat("a", 64)
+	cases := []struct {
+		name string
+		req  CompleteRequest
+		ok   bool
+	}{
+		{"result only", CompleteRequest{Fingerprint: fp, Result: []byte(`{}`)}, true},
+		{"error only", CompleteRequest{Fingerprint: fp, Error: "panic: boom"}, true},
+		{"both", CompleteRequest{Fingerprint: fp, Result: []byte(`{}`), Error: "x"}, false},
+		{"neither", CompleteRequest{Fingerprint: fp}, false},
+		{"no fingerprint", CompleteRequest{Result: []byte(`{}`)}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.req.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestEncodeCellResultMatchesCodec: the completion payload is exactly the
+// cell's checkpoint encoding — the byte-identity guarantee rides on the
+// coordinator merging worker payloads indistinguishable from local ones.
+func TestEncodeCellResultMatchesCodec(t *testing.T) {
+	l := testLease()
+	res := &core.Result{Config: l.Config, OSName: "nt4", Samples: 42}
+	payload, err := EncodeCellResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := core.DecodeResult(strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatalf("payload does not decode through the checkpoint codec: %v", err)
+	}
+	round, err := EncodeCellResult(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(round) != string(payload) {
+		t.Fatal("decode→re-encode changed the payload; completion bytes are not canonical")
+	}
+}

@@ -134,6 +134,17 @@ type Options struct {
 	// nil for real campaigns. It must stay a pure function of its config
 	// or the determinism contract is void.
 	Execute func(core.RunConfig) *core.Result
+	// ExecuteCell, if non-nil, supersedes Execute: it receives the cell's
+	// key alongside its final config (per-cell seed already derived), and
+	// may fail with an error — the seam a distributed coordinator needs,
+	// where "executing" a cell means leasing it to a remote worker by its
+	// content fingerprint and execution can fail for reasons that are not
+	// panics (coordinator drain, campaign cancellation). An error is
+	// published as that cell's failure exactly like a recovered panic; it
+	// never takes the campaign down. The same purity rule applies: the
+	// result must be a function of (key, config) only, never of which
+	// worker ran it or when.
+	ExecuteCell func(key string, cfg core.RunConfig) (*core.Result, error)
 	// Metrics, if non-nil, receives the runner's operational telemetry
 	// (the Metric* instruments above). Telemetry is strictly out-of-band:
 	// it is never read by the runner or the simulation, so results are
@@ -403,6 +414,9 @@ func (r *Runner) runCell(c Cell) (res *core.Result, err error) {
 			err = &PanicError{Key: c.Key, Value: v, Stack: debug.Stack()}
 		}
 	}()
+	if r.opts.ExecuteCell != nil {
+		return r.opts.ExecuteCell(c.Key, c.Config)
+	}
 	execute := r.opts.Execute
 	if execute == nil {
 		execute = core.Run

@@ -1,0 +1,52 @@
+package client
+
+// Backoff is the one retry-delay policy every consumer of the service
+// shares: Client.do between request attempts, Client.Watch between dropped
+// event streams, and the fleet worker loop between registration attempts
+// and failed coordinator calls. Extracting it keeps the schedule a single
+// point of truth — a worker fleet and a wall of latctl clients hammer the
+// same coordinator, so they had better thunder with the same jitter.
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes equal-jitter exponential retry delays. Attempt n (0-based)
+// waits a duration in [d/2, d] for d = min(Base·2ⁿ, Max): half the window is
+// deterministic — the delay never collapses to ~0 — and half is random, so a
+// herd of clients that failed together does not retry together.
+//
+// A server-supplied Retry-After acts as a floor, not a branch: the jittered
+// exponential delay is raised to it when it is longer. That holds at attempt
+// 0 too, where the jittered window [Base/2, Base] is usually far below any
+// explicit hint.
+type Backoff struct {
+	// Base seeds the exponential schedule (attempt 0's full window).
+	Base time.Duration
+	// Max caps the un-jittered window; delays never exceed it even after
+	// the shift count would overflow.
+	Max time.Duration
+	// Rand supplies jitter in [0,1) (default math/rand.Float64).
+	Rand func() float64
+}
+
+// Delay returns the wait before retrying after attempt (0-based), raised to
+// retryAfter when the server supplied a longer hint.
+func (b Backoff) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	random := b.Rand
+	if random == nil {
+		random = rand.Float64
+	}
+	d := b.Base << attempt
+	if d > b.Max || d <= 0 { // <<-overflow guard
+		d = b.Max
+	}
+	// Equal jitter: half deterministic, half random — spreads a thundering
+	// herd without ever collapsing the delay to ~0.
+	d = d/2 + time.Duration(random()*float64(d/2))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}

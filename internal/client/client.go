@@ -102,19 +102,10 @@ func retryable(code int) bool {
 }
 
 // backoff returns the delay before attempt (0-based) attempt+1, raised to
-// retryAfter when the server supplied one.
+// retryAfter when the server supplied one. The schedule itself lives in
+// Backoff, shared with the fleet worker loop.
 func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
-	d := c.opts.BaseDelay << attempt
-	if d > c.opts.MaxDelay || d <= 0 { // <<-overflow guard
-		d = c.opts.MaxDelay
-	}
-	// Equal jitter: half deterministic, half random — spreads a thundering
-	// herd without ever collapsing the delay to ~0.
-	d = d/2 + time.Duration(c.opts.Rand()*float64(d/2))
-	if retryAfter > d {
-		d = retryAfter
-	}
-	return d
+	return Backoff{Base: c.opts.BaseDelay, Max: c.opts.MaxDelay, Rand: c.opts.Rand}.Delay(attempt, retryAfter)
 }
 
 // parseRetryAfter reads a Retry-After header (delta-seconds or HTTP-date).

@@ -85,6 +85,15 @@ func (c *RunConfig) fillDefaults() {
 	}
 }
 
+// Normalized returns the config as Run will actually execute it: every
+// zero-valued knob replaced by its documented default. A Result's embedded
+// Config is always in this form, which is what lets a verifier match a
+// result back to the (possibly shorthand) config that requested it.
+func (c RunConfig) Normalized() RunConfig {
+	c.fillDefaults()
+	return c
+}
+
 // Result is the outcome of one measurement run.
 type Result struct {
 	Config   RunConfig

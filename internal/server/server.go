@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -93,7 +94,14 @@ type Options struct {
 	Metrics *metrics.Registry
 	// Execute overrides the cell executor (core.Run) — tests inject
 	// blocking or instant fakes. Must stay a pure function of its config.
+	// Ignored in fleet mode, where cells execute on remote workers.
 	Execute func(core.RunConfig) *core.Result
+	// Fleet, if non-nil, runs the server as a coordinator: campaigns'
+	// cells are leased to registered workers (POST /v1/workers ...)
+	// instead of executed in-process, sharded by checkpoint-store
+	// fingerprint and merged in submission order — byte-identical to a
+	// local run at any fleet size, including across worker crashes.
+	Fleet *CoordinatorOptions
 }
 
 type serverMetrics struct {
@@ -172,6 +180,10 @@ type Server struct {
 	queue  chan *job
 	closed bool
 
+	// coord is non-nil in fleet mode: cells are dispatched to workers
+	// through it rather than executed in-process.
+	coord *Coordinator
+
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 	executors  sync.WaitGroup
@@ -218,6 +230,18 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Fleet != nil {
+		co := *opts.Fleet
+		if co.Metrics == nil {
+			co.Metrics = opts.Metrics
+		}
+		s.coord = NewCoordinator(co)
+		s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+		s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+		s.mux.HandleFunc("POST /v1/workers/{id}/leases", s.handleWorkerLease)
+		s.mux.HandleFunc("POST /v1/workers/{id}/complete", s.handleWorkerComplete)
+		s.mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	}
 	for i := 0; i < opts.Concurrency; i++ {
 		s.executors.Add(1)
 		go s.executor()
@@ -237,6 +261,9 @@ func (s *Server) Close() {
 	if s.closed {
 		s.mu.Unlock()
 		s.executors.Wait()
+		if s.coord != nil {
+			s.coord.Close()
+		}
 		return
 	}
 	s.closed = true
@@ -244,6 +271,12 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.rootCancel()
 	s.executors.Wait()
+	if s.coord != nil {
+		// After the executors drained there are no ExecuteRemote waiters
+		// left; this stops the lease janitor and tells polling workers,
+		// via Draining lease responses, to exit.
+		s.coord.Close()
+	}
 }
 
 // executor pulls admitted jobs off the queue and runs them one at a time.
@@ -275,6 +308,17 @@ func (s *Server) runJob(j *job) {
 		execute = core.Run
 	}
 	var executed atomic.Uint64 // cells actually simulated, to compute Cached
+	var executeCell func(string, core.RunConfig) (*core.Result, error)
+	if s.coord != nil {
+		// Fleet mode: "executing" a cell means leasing it to a worker by
+		// its content fingerprint. The campaign runner's Jobs bound now
+		// caps outstanding leases per campaign instead of local CPU work.
+		executeCell = func(key string, cfg core.RunConfig) (*core.Result, error) {
+			s.met.cellsEx.Inc()
+			executed.Add(1)
+			return s.coord.ExecuteRemote(j.ctx, j.spec.Seed(), key, cfg)
+		}
+	}
 	run := campaign.New(campaign.Options{
 		BaseSeed: j.spec.Seed(),
 		Jobs:     s.opts.Jobs,
@@ -286,7 +330,8 @@ func (s *Server) runJob(j *job) {
 			executed.Add(1)
 			return execute(cfg)
 		},
-		OnCellDone: j.cellDone,
+		ExecuteCell: executeCell,
+		OnCellDone:  j.cellDone,
 	})
 	cells := make([]campaign.Cell, len(j.spec.Cells))
 	for i, c := range j.spec.Cells {
@@ -519,6 +564,70 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// --- Fleet (coordinator) handlers ------------------------------------------
+//
+// Thin HTTP skins over the Coordinator state machine. 410 Gone is the
+// "identity lost" signal — an unknown worker id (expired and reclaimed) or
+// an unknown task fingerprint (campaign finished or cancelled) — and tells
+// the worker to re-register or drop the result, never to retry verbatim.
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "decoding registration: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.coord.Register(req.Name))
+}
+
+func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.coord.Heartbeat(r.PathValue("id")) {
+		writeError(w, http.StatusGone, "unknown worker %q: re-register", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
+	var req api.LeaseRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "decoding lease request: %v", err)
+		return
+	}
+	resp, ok := s.coord.Lease(r.PathValue("id"), req.Max)
+	if !ok {
+		writeError(w, http.StatusGone, "unknown worker %q: re-register", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
+	var req api.CompleteRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding completion: %v", err)
+		return
+	}
+	disp, err := s.coord.Complete(r.PathValue("id"), req)
+	switch disp {
+	case CompleteMerged:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "merged"})
+	case CompleteDuplicate:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "duplicate"})
+	case CompleteUnknown:
+		writeError(w, http.StatusGone, "%v", err)
+	case CompleteRejected:
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.coord.Status())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

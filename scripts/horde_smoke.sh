@@ -1,0 +1,111 @@
+#!/bin/sh
+# horde-smoke: distributed fleet execution under real process loss.
+#
+#   1. start latserved -fleet (coordinator mode, 1s lease TTL) on a
+#      scratch port, plus 4 latworkd worker processes
+#   2. submit the default matrix via latctl
+#   3. poll /v1/fleet until a worker holds 2 leases, then SIGKILL -9 it
+#      mid-campaign — no drain, no goodbye, exactly what a crashed host
+#      looks like to the coordinator
+#   4. fetch the merged result and diff it against the same campaign run
+#      by cmd/reproduce -encode in one local process: the fleet's
+#      byte-identity guarantee, now under worker loss
+#   5. assert via /metrics that the loss actually happened and was
+#      handled: fleet_workers_expired >= 1, fleet_cells_redispatched >= 1
+#
+# Scratch state lives in results-horde-smoke/ (gitignored); it is removed
+# on success and kept for post-mortem on failure.
+set -eu
+
+GO=${GO:-go}
+DIR=results-horde-smoke
+ADDR=127.0.0.1:8473
+URL=http://$ADDR
+SEED=3
+DURATION=60s
+WORKERS=4
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+fail() {
+    echo "horde-smoke: $*" >&2
+    exit 1
+}
+
+SERVED_PID=
+cleanup() {
+    for i in $(seq 1 $WORKERS); do
+        eval "pid=\${WORKER_PID_$i:-}"
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+$GO build -o "$DIR/latserved" ./cmd/latserved
+$GO build -o "$DIR/latworkd" ./cmd/latworkd
+$GO build -o "$DIR/latctl" ./cmd/latctl
+$GO build -o "$DIR/reproduce" ./cmd/reproduce
+
+metric() {
+    # metric <name>: print the integer value of a counter from /metrics
+    curl -sf "$URL/metrics" | sed -n "s/^.*\"$1\": \([0-9][0-9]*\).*$/\1/p" | head -1
+}
+
+echo "== start coordinator + $WORKERS workers"
+"$DIR/latserved" -addr "$ADDR" -cache "$DIR/cache" -jobs 8 \
+    -fleet -lease-ttl 1s -poll 100ms 2>>"$DIR/latserved.log" &
+SERVED_PID=$!
+i=0
+until curl -sf "$URL/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "latserved did not come up (see $DIR/latserved.log)"
+    sleep 0.1
+done
+for i in $(seq 1 $WORKERS); do
+    "$DIR/latworkd" -coord "$URL" -name "horde-$i" -cells 2 \
+        2>>"$DIR/latworkd-$i.log" &
+    eval "WORKER_PID_$i=$!"
+done
+
+echo "== submit the campaign"
+ID=$("$DIR/latctl" -server "$URL" submit -duration "$DURATION" -seed "$SEED" -runs 1)
+
+echo "== wait for a worker to hold 2 leases, then SIGKILL it"
+VICTIM=
+i=0
+while [ -z "$VICTIM" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "no worker ever held 2 leases (see $DIR/latserved.log)"
+    VICTIM=$(curl -sf "$URL/v1/fleet" | tr '}' '\n' \
+        | grep '"leases":2' | head -1 \
+        | sed -n 's/.*"name":"\([^"]*\)".*/\1/p') || true
+    [ -n "$VICTIM" ] || sleep 0.1
+done
+VICTIM_N=${VICTIM#horde-}
+eval "VICTIM_PID=\$WORKER_PID_$VICTIM_N"
+echo "   killing $VICTIM (pid $VICTIM_PID) with 2 leases outstanding"
+kill -9 "$VICTIM_PID"
+eval "WORKER_PID_$VICTIM_N="
+
+echo "== fetch the merged result (survivors absorb the re-dispatched cells)"
+"$DIR/latctl" -server "$URL" result -o "$DIR/horde.json" "$ID"
+
+echo "== run the same campaign locally via cmd/reproduce -encode"
+"$DIR/reproduce" -duration "$DURATION" -seed "$SEED" -runs 1 -jobs 8 \
+    -outdir "$DIR/repro" -encode "$DIR/local.json" >/dev/null
+
+echo "== byte-identity: fleet-merged result vs single-process run"
+cmp "$DIR/horde.json" "$DIR/local.json" || fail "fleet result differs from local reproduce run"
+
+echo "== loss visible in /metrics"
+EXPIRED=$(metric fleet_workers_expired)
+REDISPATCHED=$(metric fleet_cells_redispatched)
+[ "${EXPIRED:-0}" -ge 1 ] || fail "expected fleet_workers_expired >= 1, got '${EXPIRED:-}'"
+[ "${REDISPATCHED:-0}" -ge 1 ] || fail "expected fleet_cells_redispatched >= 1, got '${REDISPATCHED:-}'"
+echo "   $EXPIRED worker expired, $REDISPATCHED cells re-dispatched"
+
+echo "horde-smoke: ok (fleet result byte-identical to local run despite SIGKILL mid-campaign)"
+rm -rf "$DIR"
