@@ -322,10 +322,14 @@ func (co *Coordinator) Complete(workerID string, req api.CompleteRequest) (Compl
 		}
 	}
 	if valErr != nil {
-		// Corrupt payload: never merged. The cell goes back to the queue
-		// for a healthy worker.
+		// Corrupt payload: never merged. A leased cell goes back to the
+		// queue for a healthy worker; a pending one (straggler corrupting
+		// a cell Reclaim already requeued) is in the queue already, and
+		// appending it again would lease the same cell to two workers.
 		co.met.rejected.Inc()
-		co.requeueLocked(t)
+		if t.state == taskLeased {
+			co.requeueLocked(t)
+		}
 		return CompleteRejected, fmt.Errorf("cell %q from worker %s rejected: %w", t.lease.Key, workerID, valErr)
 	}
 	co.met.completed.Inc()
@@ -360,8 +364,15 @@ func short(fp string) string {
 
 // finishLocked publishes a task's terminal outcome and releases waiters.
 func (co *Coordinator) finishLocked(t *cellTask, res *core.Result, err error) {
-	if t.state == taskLeased {
+	switch t.state {
+	case taskLeased:
 		co.releaseLocked(t)
+	case taskPending:
+		// A straggler can finish a cell Reclaim already requeued, before
+		// any re-lease. The done task must leave the queue, or a later
+		// Lease would grant it again — a ghost lease that clobbers the
+		// published outcome and leaks the leased-cells gauge.
+		co.dequeueLocked(t)
 	}
 	t.state = taskDone
 	t.res, t.err = res, err
@@ -379,6 +390,17 @@ func (co *Coordinator) releaseLocked(t *cellTask) {
 	}
 	t.owner = ""
 	co.met.cellsOut.Dec()
+}
+
+// dequeueLocked removes a pending task from the dispatch queue.
+func (co *Coordinator) dequeueLocked(t *cellTask) {
+	for i, q := range co.queue {
+		if q == t {
+			co.queue = append(co.queue[:i], co.queue[i+1:]...)
+			co.met.queueDepth.Dec()
+			return
+		}
+	}
 }
 
 // requeueLocked returns a task to the dispatch queue.
@@ -469,13 +491,7 @@ func (co *Coordinator) ExecuteRemote(ctx context.Context, baseSeed uint64, key s
 		// out of the queue; if leased, orphan it — a late completion gets
 		// CompleteUnknown and the worker moves on.
 		if t.state == taskPending {
-			for i, q := range co.queue {
-				if q == t {
-					co.queue = append(co.queue[:i], co.queue[i+1:]...)
-					co.met.queueDepth.Dec()
-					break
-				}
-			}
+			co.dequeueLocked(t)
 		} else {
 			co.releaseLocked(t)
 		}

@@ -337,6 +337,125 @@ func TestCoordinatorStragglerFromExpiredWorkerMerges(t *testing.T) {
 	}
 }
 
+// TestCoordinatorStragglerCompletesBeforeRedispatch covers the narrower
+// straggler race: the declared-dead worker delivers its completion while
+// the reclaimed cell is still *queued*, before anyone re-leases it. The
+// finished cell must leave the queue — a later Lease granting a done cell
+// would clobber the published outcome and leak the leased-cells gauge —
+// and both the valid-result and deterministic-error deliveries take the
+// same finish path.
+func TestCoordinatorStragglerCompletesBeforeRedispatch(t *testing.T) {
+	deliveries := []struct {
+		name string
+		req  func(t *testing.T, l api.Lease) api.CompleteRequest
+	}{
+		{"result", func(t *testing.T, l api.Lease) api.CompleteRequest {
+			return api.CompleteRequest{Fingerprint: l.Fingerprint, Result: fakePayload(t, l)}
+		}},
+		{"error", func(t *testing.T, l api.Lease) api.CompleteRequest {
+			return api.CompleteRequest{Fingerprint: l.Fingerprint, Error: "panic: boom"}
+		}},
+	}
+	for _, d := range deliveries {
+		t.Run(d.name, func(t *testing.T) {
+			clock := newFakeClock()
+			reg := metrics.NewRegistry()
+			co := NewCoordinator(CoordinatorOptions{LeaseTTL: 5 * time.Second, Metrics: reg, Now: clock.Now})
+			defer co.Close()
+
+			out := startCell(context.Background(), co, 17, "nt4/business/early-straggler/0", cellConfig(time.Millisecond))
+			waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
+			slow := co.Register("slow")
+			resp, _ := co.Lease(slow.WorkerID, 1)
+			l := resp.Leases[0]
+
+			clock.Advance(6 * time.Second)
+			co.Reclaim() // cell back in the queue, pending
+
+			disp, err := co.Complete(slow.WorkerID, d.req(t, l))
+			if err != nil || disp != CompleteMerged {
+				t.Fatalf("straggler completion: %v (disposition %d)", err, disp)
+			}
+			res := <-out
+			if d.name == "result" && res.err != nil {
+				t.Fatalf("ExecuteRemote: %v", res.err)
+			}
+			if d.name == "error" && (res.err == nil || !strings.Contains(res.err.Error(), "panic: boom")) {
+				t.Fatalf("ExecuteRemote error = %v, want the worker's failure", res.err)
+			}
+			if got := co.Status(); got.Pending != 0 || got.Leased != 0 {
+				t.Fatalf("after merge: pending=%d leased=%d, want 0/0", got.Pending, got.Leased)
+			}
+
+			// No ghost grant: a fresh worker asking for work gets nothing,
+			// and the queue/lease gauges are back to zero.
+			late := co.Register("late")
+			if resp, ok := co.Lease(late.WorkerID, 4); !ok || len(resp.Leases) != 0 {
+				t.Fatalf("lease after merged straggler: ok=%v grants=%d, want empty", ok, len(resp.Leases))
+			}
+			if got := reg.Gauge(MetricFleetQueueDepth).Value(); got != 0 {
+				t.Errorf("%s = %d, want 0", MetricFleetQueueDepth, got)
+			}
+			if got := reg.Gauge(MetricFleetCellsLeased).Value(); got != 0 {
+				t.Errorf("%s = %d, want 0", MetricFleetCellsLeased, got)
+			}
+		})
+	}
+}
+
+// TestCoordinatorCorruptStragglerDoesNotDoubleQueue: a declared-dead
+// worker delivers a *corrupt* payload for a cell Reclaim already requeued.
+// The rejection must not append the cell a second time — a double-queued
+// cell would be leased to two workers at once and drift the gauges.
+func TestCoordinatorCorruptStragglerDoesNotDoubleQueue(t *testing.T) {
+	clock := newFakeClock()
+	reg := metrics.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{LeaseTTL: 5 * time.Second, Metrics: reg, Now: clock.Now})
+	defer co.Close()
+
+	out := startCell(context.Background(), co, 19, "nt4/business/corrupt-straggler/0", cellConfig(time.Millisecond))
+	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
+	slow := co.Register("slow")
+	resp, _ := co.Lease(slow.WorkerID, 1)
+	l := resp.Leases[0]
+
+	clock.Advance(6 * time.Second)
+	co.Reclaim() // cell back in the queue, pending
+
+	disp, err := co.Complete(slow.WorkerID, api.CompleteRequest{Fingerprint: l.Fingerprint, Result: json.RawMessage(`{"Version":`)})
+	if disp != CompleteRejected || err == nil {
+		t.Fatalf("corrupt straggler: disposition %d err %v, want rejected", disp, err)
+	}
+	if got := co.Status(); got.Pending != 1 {
+		t.Fatalf("pending=%d after rejected straggler, want exactly 1 queued copy", got.Pending)
+	}
+	if got := reg.Gauge(MetricFleetQueueDepth).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricFleetQueueDepth, got)
+	}
+
+	// Exactly one copy of the cell is grantable.
+	first := co.Register("first")
+	grant, _ := co.Lease(first.WorkerID, 4)
+	if len(grant.Leases) != 1 {
+		t.Fatalf("re-dispatch grant: %d leases, want 1", len(grant.Leases))
+	}
+	second := co.Register("second")
+	if resp, _ := co.Lease(second.WorkerID, 4); len(resp.Leases) != 0 {
+		t.Fatalf("cell leased twice: second worker got %d leases", len(resp.Leases))
+	}
+
+	disp, err = co.Complete(first.WorkerID, api.CompleteRequest{Fingerprint: l.Fingerprint, Result: fakePayload(t, grant.Leases[0])})
+	if err != nil || disp != CompleteMerged {
+		t.Fatalf("clean completion: %v (disposition %d)", err, disp)
+	}
+	if res := <-out; res.err != nil {
+		t.Fatalf("ExecuteRemote: %v", res.err)
+	}
+	if got := counter(reg, MetricFleetCellsCompleted); got != 1 {
+		t.Errorf("completed counter %d, want exactly 1 merge", got)
+	}
+}
+
 // TestCoordinatorWorkerErrorFailsCellDeterministically: a worker-reported
 // execution error fails the cell for its waiters instead of re-dispatching
 // — results are pure functions of the lease, so a retry would fail the

@@ -316,7 +316,15 @@ func (s *Server) runJob(j *job) {
 		executeCell = func(key string, cfg core.RunConfig) (*core.Result, error) {
 			s.met.cellsEx.Inc()
 			executed.Add(1)
-			return s.coord.ExecuteRemote(j.ctx, j.spec.Seed(), key, cfg)
+			res, err := s.coord.ExecuteRemote(j.ctx, j.spec.Seed(), key, cfg)
+			if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				// ExecuteRemote surfaces a cancelled wait as the bare ctx
+				// error, but the terminal-state classification below keys
+				// on ErrCancelled — without the wrap, a DELETE-cancelled
+				// fleet job is published as failed.
+				err = fmt.Errorf("%w: %v", campaign.ErrCancelled, err)
+			}
+			return res, err
 		}
 	}
 	run := campaign.New(campaign.Options{

@@ -219,6 +219,41 @@ func TestCancelEndpoint(t *testing.T) {
 	}
 }
 
+// TestCancelFleetJobReportsCancelled: DELETE on a fleet-mode campaign whose
+// cells are waiting on the coordinator (no worker ever leases them) must
+// finish state=cancelled, not failed — ExecuteRemote surfaces the bare ctx
+// error, and runJob must still classify it as cancellation.
+func TestCancelFleetJobReportsCancelled(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Options{Jobs: 2, Metrics: reg, Fleet: &CoordinatorOptions{LeaseTTL: time.Minute}})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := decodeStatus(t, postSpec(t, ts, specN(9, 2))).ID
+	waitState(t, ts, id, api.StateRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// waitState fails fast on any other terminal state, so a job
+	// misreported as failed is caught here, not by timeout.
+	waitState(t, ts, id, api.StateCancelled)
+	if got := reg.Counter(MetricCancelled).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricCancelled, got)
+	}
+	if got := reg.Counter(MetricFailed).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0", MetricFailed, got)
+	}
+}
+
 func TestCloseDrainsRunningCellsThroughStore(t *testing.T) {
 	dir := t.TempDir()
 	st, err := store.Open(dir)
