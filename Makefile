@@ -7,8 +7,8 @@
 GO ?= go
 
 # Bench comparison inputs for bench-compare (override on the command line).
-BASE ?= BENCH_0.json
-NEW  ?= BENCH_1.json
+BASE ?= BENCH_1.json
+NEW  ?= BENCH_2.json
 
 # Coverage floor (percent of statements) for the campaign runtime and the
 # metrics registry — the packages whose regressions CI must not let drift.
@@ -47,8 +47,8 @@ race:
 # the race detector's instrumented allocator, so those tests skip themselves
 # there and must also run uninstrumented).
 substrate:
-	$(GO) test -race -run 'TestEngineHeapMatchesOracle|TestEngineFIFOUnderPooling' ./internal/sim/
-	$(GO) test -run 'TestEngineSteadyStateAllocFree' ./internal/sim/
+	$(GO) test -race -run 'TestEngineHeapMatchesOracle|TestEngineFIFOUnderPooling|TestWheel' ./internal/sim/
+	$(GO) test -run 'TestEngineSteadyStateAllocFree|TestWheelSteadyStateAllocFree' ./internal/sim/
 
 # failure-paths: the campaign runner's fault-tolerance suite under -race —
 # panic isolation, graceful cancellation with checkpoint flush, resume
@@ -147,7 +147,7 @@ horde-smoke:
 	./scripts/horde_smoke.sh
 
 # bench: record the substrate and experiment benchmarks into $(NEW). Compare
-# against the committed pre-optimisation baseline $(BASE) with bench-compare.
+# against the committed previous-round baseline $(BASE) with bench-compare.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -json . > $(NEW)
 
@@ -168,4 +168,4 @@ reproduce:
 	$(GO) run ./cmd/reproduce -duration 30m -runs 3
 
 clean:
-	rm -rf results-smoke results-resume-smoke results-serve-smoke results-horde-smoke cover.out
+	rm -rf results-smoke results-resume-smoke results-serve-smoke results-horde-smoke cover.out latserved-cache

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -190,6 +191,42 @@ func compareRow(name string, b, n benchResult, maxRegress float64) rowVerdict {
 	return v
 }
 
+// writeComparison renders the comparison table for every benchmark present
+// in both records (sorted by name) and returns the accumulated policy
+// failures. It errors when the two records share no benchmark: that is a
+// tooling mistake (wrong file, renamed suite), not a clean pass. basePath
+// and newPath only label the summary line.
+func writeComparison(w io.Writer, baseRes, newRes map[string]benchResult,
+	basePath, newPath string, maxRegress float64) ([]string, error) {
+	names := make([]string, 0, len(baseRes))
+	for name := range baseRes {
+		if _, ok := newRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no common benchmarks between %s and %s", basePath, newPath)
+	}
+
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %16s\n",
+		"benchmark", "base ns/op", "new ns/op", "speedup", "allocs/op")
+	var failures []string
+	for _, name := range names {
+		v := compareRow(name, baseRes[name], newRes[name], maxRegress)
+		failures = append(failures, v.failures...)
+		fmt.Fprintf(w, "%-52s %14.4g %14.4g %8s %16s%s\n",
+			name, baseRes[name].NsPerOp, newRes[name].NsPerOp,
+			v.speedup, v.allocs, v.status)
+	}
+
+	fmt.Fprintf(w, "\n%d benchmarks compared (%s -> %s)\n", len(names), basePath, newPath)
+	if len(failures) == 0 {
+		fmt.Fprintln(w, "no regressions beyond policy")
+	}
+	return failures, nil
+}
+
 func main() {
 	base := flag.String("base", "BENCH_0.json", "baseline bench record")
 	newer := flag.String("new", "BENCH_1.json", "candidate bench record")
@@ -209,30 +246,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(baseRes))
-	for name := range baseRes {
-		if _, ok := newRes[name]; ok {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between", *base, "and", *newer)
+	failures, err := writeComparison(os.Stdout, baseRes, newRes, *base, *newer, *maxRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-
-	fmt.Printf("%-52s %14s %14s %8s %16s\n",
-		"benchmark", "base ns/op", "new ns/op", "speedup", "allocs/op")
-	var failures []string
-	for _, name := range names {
-		v := compareRow(name, baseRes[name], newRes[name], *maxRegress)
-		failures = append(failures, v.failures...)
-		fmt.Printf("%-52s %14.4g %14.4g %8s %16s%s\n",
-			name, baseRes[name].NsPerOp, newRes[name].NsPerOp,
-			v.speedup, v.allocs, v.status)
-	}
-
-	fmt.Printf("\n%d benchmarks compared (%s -> %s)\n", len(names), *base, *newer)
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s):\n", len(failures))
 		for _, f := range failures {
@@ -240,5 +258,4 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Println("no regressions beyond policy")
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -81,5 +83,113 @@ func TestCompareRowWithinTolerance(t *testing.T) {
 	}
 	if v.speedup != "0.95x" {
 		t.Errorf("speedup = %q, want 0.95x", v.speedup)
+	}
+}
+
+// writeBenchJSON writes a synthetic `go test -json` bench record, using the
+// split name/metrics event shape `make bench` actually produces (benchmark
+// name in the Test field, metrics alone in Output).
+func writeBenchJSON(t *testing.T, name string, lines ...string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func event(test, output string) string {
+	return `{"Action":"output","Test":"` + test + `","Output":"` + output + `"}`
+}
+
+// TestWriteComparisonTable drives parse + render end to end over a synthetic
+// JSON pair: the table must carry the allocs/op column, per-row speedups,
+// and the regression verdicts the exit code is derived from.
+func TestWriteComparisonTable(t *testing.T) {
+	base := writeBenchJSON(t, "base.json",
+		event("BenchmarkFast", "1000 100.0 ns/op 0 B/op 0 allocs/op"),
+		event("BenchmarkSlow", "500 200.0 ns/op 16 B/op 2 allocs/op"),
+		event("BenchmarkOnlyInBase", "10 5.0 ns/op"),
+	)
+	newer := writeBenchJSON(t, "new.json",
+		event("BenchmarkFast", "2000 50.0 ns/op 0 B/op 0 allocs/op"),
+		event("BenchmarkSlow", "400 260.0 ns/op 24 B/op 3 allocs/op"),
+		event("BenchmarkOnlyInNew", "10 5.0 ns/op"),
+	)
+	baseRes, err := parseBenchFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := parseBenchFile(newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	failures, err := writeComparison(&out, baseRes, newRes, "base.json", "new.json", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := out.String()
+
+	for _, want := range []string{
+		"allocs/op",          // header column
+		"2.00x",              // BenchmarkFast speedup
+		"0 -> 0",             // BenchmarkFast allocs cell
+		"0.77x",              // BenchmarkSlow speedup
+		"2 -> 3",             // BenchmarkSlow allocs cell
+		"REGRESSION(time)",   // 30% > 10% policy
+		"REGRESSION(allocs)", // 2 -> 3
+		"2 benchmarks compared (base.json -> new.json)",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	for _, reject := range []string{"BenchmarkOnlyInBase", "BenchmarkOnlyInNew", "no regressions"} {
+		if strings.Contains(table, reject) {
+			t.Errorf("table wrongly contains %q:\n%s", reject, table)
+		}
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want exactly a time and an allocs regression", failures)
+	}
+}
+
+// A clean pair renders the pass line and no failures.
+func TestWriteComparisonClean(t *testing.T) {
+	base := writeBenchJSON(t, "base.json",
+		event("BenchmarkFast", "1000 100.0 ns/op 0 B/op 0 allocs/op"))
+	newer := writeBenchJSON(t, "new.json",
+		event("BenchmarkFast", "1000 101.0 ns/op 0 B/op 0 allocs/op"))
+	baseRes, _ := parseBenchFile(base)
+	newRes, _ := parseBenchFile(newer)
+	var out strings.Builder
+	failures, err := writeComparison(&out, baseRes, newRes, "b", "n", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("clean pair produced failures: %v", failures)
+	}
+	if !strings.Contains(out.String(), "no regressions beyond policy") {
+		t.Errorf("pass line missing:\n%s", out.String())
+	}
+}
+
+// Disjoint records are a tooling mistake, not a pass.
+func TestWriteComparisonNoCommon(t *testing.T) {
+	var out strings.Builder
+	_, err := writeComparison(&out,
+		map[string]benchResult{"BenchmarkA": res(1, 0, false)},
+		map[string]benchResult{"BenchmarkB": res(1, 0, false)},
+		"b", "n", 0.10)
+	if err == nil || !strings.Contains(err.Error(), "no common benchmarks") {
+		t.Fatalf("err = %v, want no-common-benchmarks error", err)
 	}
 }

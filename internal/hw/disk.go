@@ -39,8 +39,11 @@ type Disk struct {
 
 	queue     []*DiskRequest
 	busy      bool
+	inflight  *DiskRequest // the transfer the controller is executing
 	completed *DiskRequest // awaiting driver acknowledgment
 	onDone    func(req *DiskRequest)
+	xferDone  func(sim.Time) // hoisted completion event (one transfer at a time)
+	reqFree   []*DiskRequest // recycled request records (FreeRequest)
 	total     uint64
 	totalWait sim.Cycles
 }
@@ -52,13 +55,43 @@ func NewDisk(eng *sim.Engine, line IRQLine, seek sim.Dist, bytesPerCycle float64
 	if bytesPerCycle <= 0 {
 		panic("hw: non-positive disk transfer rate")
 	}
-	return &Disk{
+	d := &Disk{
 		eng:           eng,
 		rng:           eng.RNG().Split(),
 		line:          line,
 		SeekTime:      seek,
 		BytesPerCycle: bytesPerCycle,
 	}
+	d.xferDone = func(sim.Time) {
+		d.busy = false
+		d.completed = d.inflight
+		d.inflight = nil
+		d.line.Assert()
+	}
+	return d
+}
+
+// AllocRequest returns a zeroed request, reusing pooled storage when
+// available. Pairs with FreeRequest; plain &DiskRequest{} literals remain
+// valid for callers that do not recycle.
+func (d *Disk) AllocRequest() *DiskRequest {
+	if n := len(d.reqFree); n > 0 {
+		req := d.reqFree[n-1]
+		d.reqFree[n-1] = nil
+		d.reqFree = d.reqFree[:n-1]
+		*req = DiskRequest{}
+		return req
+	}
+	return &DiskRequest{}
+}
+
+// FreeRequest returns a request to the pool. The caller relinquishes the
+// handle: call it only after CompleteTransfer has returned the request and
+// its Tag has been fully processed — a freed request may be handed out
+// again by the next AllocRequest.
+func (d *Disk) FreeRequest(req *DiskRequest) {
+	req.Tag = nil
+	d.reqFree = append(d.reqFree, req)
 }
 
 // SetCompletionHandler registers the driver callback invoked from
@@ -99,17 +132,18 @@ func (d *Disk) kick() {
 	if d.busy || d.completed != nil || len(d.queue) == 0 {
 		return
 	}
+	// Shift in place rather than advancing the slice base, which would
+	// discard capacity and reallocate the queue every steady-state cycle.
 	req := d.queue[0]
-	d.queue = d.queue[1:]
+	copy(d.queue, d.queue[1:])
+	d.queue[len(d.queue)-1] = nil
+	d.queue = d.queue[:len(d.queue)-1]
 	d.busy = true
 	req.started = d.eng.Now()
 	d.totalWait += req.started.Sub(req.submitted)
 	service := d.serviceTime(req)
-	d.eng.After(service, "disk-xfer", func(now sim.Time) {
-		d.busy = false
-		d.completed = req
-		d.line.Assert()
-	})
+	d.inflight = req
+	d.eng.After(service, "disk-xfer", d.xferDone)
 }
 
 func (d *Disk) serviceTime(req *DiskRequest) sim.Cycles {

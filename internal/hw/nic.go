@@ -16,7 +16,11 @@ type NIC struct {
 	// LAN was 100 Mbit to over-stress the system).
 	InterPacketGap sim.Cycles
 
-	ring      []int // pending packet sizes
+	// ring holds pending packet sizes; head indexes the first undrained
+	// entry. Draining advances head instead of re-slicing the base away,
+	// which would discard capacity and make every burst reallocate.
+	ring      []int
+	head      int
 	delivered uint64
 	dropped   uint64
 	ringCap   int
@@ -38,14 +42,18 @@ func (n *NIC) DeliverBurst(packets, bytes int) {
 	if packets <= 0 || bytes <= 0 {
 		panic("hw: invalid NIC burst")
 	}
+	// One arrival closure serves the whole burst: every packet in a burst
+	// has the same size, and allocating per packet dominated the machine's
+	// steady-state garbage.
+	rx := func(sim.Time) { n.receive(bytes) }
 	for i := 0; i < packets; i++ {
 		delay := sim.Cycles(i) * n.InterPacketGap
-		n.eng.After(delay, "nic-rx", func(sim.Time) { n.receive(bytes) })
+		n.eng.After(delay, "nic-rx", rx)
 	}
 }
 
 func (n *NIC) receive(bytes int) {
-	if len(n.ring) >= n.ringCap {
+	if len(n.ring)-n.head >= n.ringCap {
 		n.dropped++
 		return
 	}
@@ -59,28 +67,33 @@ func (n *NIC) receive(bytes int) {
 // Drain removes up to max packets from the ring (the driver ISR/DPC calls
 // this), returning their sizes. When the ring empties the line deasserts;
 // if packets remain the card re-asserts so the driver takes another pass.
+// The returned slice aliases the ring's recycled storage and is only valid
+// until the card next receives a packet.
 func (n *NIC) Drain(max int) []int {
-	if max <= 0 || len(n.ring) == 0 {
-		n.raised = len(n.ring) > 0
+	avail := len(n.ring) - n.head
+	if max <= 0 || avail == 0 {
+		n.raised = avail > 0
 		return nil
 	}
-	if max > len(n.ring) {
-		max = len(n.ring)
+	if max > avail {
+		max = avail
 	}
-	out := n.ring[:max]
-	n.ring = n.ring[max:]
+	out := n.ring[n.head : n.head+max]
+	n.head += max
 	n.delivered += uint64(max)
-	if len(n.ring) > 0 {
+	if n.head < len(n.ring) {
 		// More work: model a level-triggered line by re-asserting.
 		n.line.Assert()
 	} else {
+		n.ring = n.ring[:0]
+		n.head = 0
 		n.raised = false
 	}
 	return out
 }
 
 // Pending returns the number of packets in the ring.
-func (n *NIC) Pending() int { return len(n.ring) }
+func (n *NIC) Pending() int { return len(n.ring) - n.head }
 
 // Delivered returns packets handed to the driver; Dropped counts ring
 // overflows.

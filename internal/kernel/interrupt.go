@@ -73,6 +73,7 @@ func (k *Kernel) Connect(vector int, irql IRQL, module, function string, isr fun
 	intr.doneLabel = "isr:" + intr.actLabel
 	intr.ctx = &IsrContext{k: k, irq: intr}
 	k.interrupts[vector] = intr
+	k.irqList = append(k.irqList, intr)
 	k.cpu.Install(vector, func(now sim.Time) {
 		intr.isr(intr.ctx)
 	})
@@ -89,6 +90,16 @@ func (k *Kernel) InterruptForVector(vector int) *Interrupt {
 // Disconnect releases a vector.
 func (k *Kernel) Disconnect(intr *Interrupt) {
 	delete(k.interrupts, intr.Vector)
+	for i, x := range k.irqList {
+		if x == intr {
+			k.irqList = append(k.irqList[:i], k.irqList[i+1:]...)
+			break
+		}
+	}
+	if intr.pending {
+		intr.pending = false
+		k.irqPending--
+	}
 }
 
 // Assert raises the interrupt line. Devices call this; it is level-styled:
@@ -101,6 +112,7 @@ func (intr *Interrupt) Assert() {
 		return
 	}
 	intr.pending = true
+	k.irqPending++
 	intr.assertedAt = k.now()
 	intr.asserts++
 	if k.probe.InterruptAsserted != nil {
@@ -120,8 +132,11 @@ func (intr *Interrupt) Spurious() uint64 { return intr.spurious }
 // whose level exceeds top, or nil. FIFO order breaks IRQL ties via
 // assertion time.
 func (k *Kernel) bestDeliverableIRQ(top int) *Interrupt {
+	if k.irqPending == 0 {
+		return nil
+	}
 	var best *Interrupt
-	for _, intr := range k.interrupts {
+	for _, intr := range k.irqList {
 		if !intr.pending || isrLevel(intr.Irql) <= top {
 			continue
 		}
@@ -143,6 +158,7 @@ func (k *Kernel) bestDeliverableIRQ(top int) *Interrupt {
 func (k *Kernel) acceptInterrupt(intr *Interrupt) {
 	now := k.now()
 	intr.pending = false
+	k.irqPending--
 	k.counters.Interrupts++
 
 	act := k.newActivity()

@@ -21,9 +21,32 @@ type IRP struct {
 	completedAt sim.Time
 }
 
-// NewIRP allocates a request packet stamped with its creation time.
+// NewIRP allocates a request packet stamped with its creation time,
+// reusing a pooled packet when one is available.
 func (k *Kernel) NewIRP() *IRP {
+	if n := len(k.irpFree); n > 0 {
+		irp := k.irpFree[n-1]
+		k.irpFree[n-1] = nil
+		k.irpFree = k.irpFree[:n-1]
+		*irp = IRP{createdAt: k.now()}
+		return irp
+	}
 	return &IRP{createdAt: k.now()}
+}
+
+// FreeIRP returns a completed packet to the kernel's pool. The caller
+// relinquishes the handle: a freed IRP may be handed out again by the
+// next NewIRP, so no field may be read or written after the call. It is
+// legal to free the packet from inside its own OnComplete routine —
+// completion touches nothing after the callback returns. Freeing an
+// uncompleted packet panics.
+func (k *Kernel) FreeIRP(irp *IRP) {
+	if !irp.completed {
+		panic("kernel: FreeIRP of uncompleted IRP")
+	}
+	irp.OnComplete = nil
+	irp.Tag = nil
+	k.irpFree = append(k.irpFree, irp)
 }
 
 // Completed reports whether the IRP has been completed.

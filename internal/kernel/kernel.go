@@ -124,10 +124,16 @@ type Kernel struct {
 	episodes []*pendingEpisode
 	actFree  []*activity       // recycled activity records
 	epFree   []*pendingEpisode // recycled pending-episode records
+	irpFree  []*IRP            // recycled request packets (FreeIRP)
 	epLabels map[epLabelKey]epLabelVal
 
-	// Interrupt state.
+	// Interrupt state. irqList mirrors the map for iteration (Go map walks
+	// cost an iterator setup per call, and the dispatch loop polls every
+	// pass); irqPending counts asserted lines so the common nothing-pending
+	// poll is one compare.
 	interrupts map[int]*Interrupt
+	irqList    []*Interrupt
+	irqPending int
 
 	// DPC queue (FIFO; High importance inserts at front).
 	dpcQ []*DPC
@@ -137,10 +143,12 @@ type Kernel struct {
 	tickPeriod sim.Cycles
 	clockVec   int
 
-	// Scheduler state.
+	// Scheduler state. readyMask mirrors the ready queues (bit p set iff
+	// ready[p] is non-empty) so the highest ready priority is one bit scan.
 	ready      [NumPriorities][]*Thread
+	readyMask  uint32
 	current    *Thread
-	reqCh      chan request
+	reqCh      chan *request
 	threads    []*Thread
 	inDispatch bool
 
@@ -165,7 +173,7 @@ func New(eng *sim.Engine, c *cpu.CPU, cfg Config) *Kernel {
 		cfg:        cfg,
 		rng:        eng.RNG().Split(),
 		interrupts: make(map[int]*Interrupt),
-		reqCh:      make(chan request),
+		reqCh:      make(chan *request),
 	}
 	return k
 }
@@ -238,24 +246,32 @@ func (k *Kernel) maybeRun() {
 	if k.inDispatch {
 		return
 	}
+	// Cleared explicitly at each exit rather than by defer: the loop runs
+	// once per kernel state change, and the per-call defer is measurable
+	// there. A panic escaping the loop is a simulated bug check — the
+	// kernel is not used again, so a stuck flag is harmless.
 	k.inDispatch = true
-	defer func() { k.inDispatch = false }()
 
 	for {
 		top := k.topLevel()
 
-		// 1. Deliverable hardware interrupt (highest DIRQL first)?
-		if irq := k.bestDeliverableIRQ(top); irq != nil {
-			k.acceptInterrupt(irq)
-			continue
-		}
-		// 2. Interrupt-masked overhead episode? Admitted only when no ISR
-		// is in flight: masked windows originate in thread/DPC-context
-		// code, not inside other interrupt handlers.
-		if top < levelIsrBase {
-			if ep := k.takeEpisode(top, levelIntMask); ep != nil {
-				k.startEpisode(ep)
+		// 1. Deliverable hardware interrupt (highest DIRQL first)? The
+		// pending-count guard keeps the common empty case call-free.
+		if k.irqPending > 0 {
+			if irq := k.bestDeliverableIRQ(top); irq != nil {
+				k.acceptInterrupt(irq)
 				continue
+			}
+		}
+		if len(k.episodes) > 0 {
+			// 2. Interrupt-masked overhead episode? Admitted only when no
+			// ISR is in flight: masked windows originate in thread/DPC-
+			// context code, not inside other interrupt handlers.
+			if top < levelIsrBase {
+				if ep := k.takeEpisode(top, levelIntMask); ep != nil {
+					k.startEpisode(ep)
+					continue
+				}
 			}
 		}
 		// 3. DPC drain (DPCs cannot preempt DPCs, so only when below
@@ -265,17 +281,21 @@ func (k *Kernel) maybeRun() {
 			continue
 		}
 		// 4. Scheduler-locked overhead episode?
-		if ep := k.takeEpisode(top, levelSchedLock); ep != nil {
-			k.startEpisode(ep)
-			continue
+		if len(k.episodes) > 0 {
+			if ep := k.takeEpisode(top, levelSchedLock); ep != nil {
+				k.startEpisode(ep)
+				continue
+			}
 		}
 		// 5. Resume the suspended top activity, if any.
 		if len(k.stack) > 0 {
 			k.resumeTop()
+			k.inDispatch = false
 			return
 		}
 		// 6. Threads.
 		if !k.scheduleStep() {
+			k.inDispatch = false
 			return
 		}
 	}

@@ -54,13 +54,18 @@ func (w *waiterList) removeWaiter(t *Thread) {
 
 func (w *waiterList) kernel() *Kernel { return w.k }
 
-// popWaiter dequeues the longest-waiting thread, or nil.
+// popWaiter dequeues the longest-waiting thread, or nil. It shifts in
+// place rather than re-slicing the head away: advancing the slice base
+// discards capacity, which made every steady-state wait/wake cycle
+// reallocate the list from scratch.
 func (w *waiterList) popWaiter() *Thread {
 	if len(w.waiters) == 0 {
 		return nil
 	}
 	t := w.waiters[0]
-	w.waiters = w.waiters[1:]
+	copy(w.waiters, w.waiters[1:])
+	w.waiters[len(w.waiters)-1] = nil
+	w.waiters = w.waiters[:len(w.waiters)-1]
 	return t
 }
 

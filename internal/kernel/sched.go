@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"math/bits"
+
 	"wdmlat/internal/cpu"
 	"wdmlat/internal/sim"
 )
@@ -8,6 +10,7 @@ import (
 // pushReadyBack appends t to the tail of its priority's ready queue.
 func (k *Kernel) pushReadyBack(t *Thread) {
 	k.ready[t.priority] = append(k.ready[t.priority], t)
+	k.readyMask |= 1 << uint(t.priority)
 }
 
 // pushReadyFront prepends t, used when a thread is preempted so it runs
@@ -19,16 +22,12 @@ func (k *Kernel) pushReadyFront(t *Thread) {
 	copy(q[1:], q)
 	q[0] = t
 	k.ready[t.priority] = q
+	k.readyMask |= 1 << uint(t.priority)
 }
 
 // bestReadyPriority returns the highest priority with a ready thread, or -1.
 func (k *Kernel) bestReadyPriority() int {
-	for p := MaxPriority; p >= MinPriority; p-- {
-		if len(k.ready[p]) > 0 {
-			return p
-		}
-	}
-	return -1
+	return bits.Len32(k.readyMask) - 1
 }
 
 // popReady removes and returns the head of the given priority queue. The
@@ -40,6 +39,9 @@ func (k *Kernel) popReady(p int) *Thread {
 	n := copy(q, q[1:])
 	q[n] = nil
 	k.ready[p] = q[:n]
+	if n == 0 {
+		k.readyMask &^= 1 << uint(p)
+	}
 	return t
 }
 
@@ -75,8 +77,7 @@ func (k *Kernel) scheduleStep() bool {
 			return false
 		}
 		if t.needsResume {
-			k.serveOne(t)
-			return true
+			return k.serveOne(t)
 		}
 		panic("kernel: running thread " + t.Name + " has nothing to do")
 	}
@@ -118,7 +119,15 @@ func (k *Kernel) beginExecSegment(t *Thread) {
 		if t.quantumLeft <= 0 {
 			t.quantumLeft = k.cfg.Quantum
 		}
-		t.quantumEvent = k.eng.After(t.quantumLeft, t.labelQuantum, t.onQuantumFn)
+		// Only arm the expiry event when it can actually fire: a segment
+		// shorter than the remaining quantum completes first (equal due
+		// times dispatch the earlier-scheduled completion first, which
+		// cancels the expiry), so the event would be pure queue churn.
+		// quantumLeft bookkeeping is unaffected — every suspend/complete
+		// path decrements it by elapsed time regardless.
+		if t.execRemaining >= t.quantumLeft {
+			t.quantumEvent = k.eng.After(t.quantumLeft, t.labelQuantum, t.onQuantumFn)
+		}
 	}
 }
 
@@ -197,8 +206,9 @@ func (k *Kernel) onQuantumExpiry(t *Thread, now sim.Time) {
 
 // serveOne resumes the current thread's goroutine for exactly one request
 // and applies it. The goroutine runs in zero virtual time; only Exec/Wait
-// let time pass.
-func (k *Kernel) serveOne(t *Thread) {
+// let time pass. The return value follows the scheduleStep contract: true
+// asks the dispatch loop to re-evaluate, false means the CPU is committed.
+func (k *Kernel) serveOne(t *Thread) bool {
 	t.needsResume = false
 	msg := t.resumeVal
 	t.resumeVal = resumeMsg{}
@@ -209,17 +219,31 @@ func (k *Kernel) serveOne(t *Thread) {
 	case reqExec:
 		if req.cycles <= 0 {
 			t.needsResume = true // zero-length exec: immediately runnable again
-			return
+			return true
 		}
+		// Start the segment right away: a resumed body holds the CPU with
+		// nothing above thread level pending (the loop drained it all before
+		// resuming, and inline calls that arm such work yield back), and the
+		// ready set is unchanged since the last preemption check, so the
+		// loop pass that would otherwise start it is provably a no-op.
 		t.execRemaining = req.cycles
-		// The dispatch loop starts the segment on its next pass.
+		k.beginExecSegment(t)
+		return false
 
 	case reqCall:
 		req.fn()
 		t.needsResume = true
 
+	case reqYield:
+		t.needsResume = true
+
+	case reqPanic:
+		panic(req.pv)
+
 	case reqRaisedExec:
-		k.beginRaisedExec(t, req)
+		// Same argument as reqExec: once the raised section occupies the
+		// CPU, the skipped loop pass would only find it running and return.
+		return k.beginRaisedExec(t, req)
 
 	case reqWait:
 		k.beginWait(t, req)
@@ -233,6 +257,7 @@ func (k *Kernel) serveOne(t *Thread) {
 		k.current = nil
 		t.doneEvent.set()
 	}
+	return true
 }
 
 // beginRaisedExec runs a thread's raised-IRQL section as a CPU occupancy at
@@ -240,10 +265,10 @@ func (k *Kernel) serveOne(t *Thread) {
 // rescheduling, device IRQLs additionally hold off lower interrupts, and
 // HIGH_LEVEL masks everything. The thread stays current; its goroutine
 // resumes when the section completes.
-func (k *Kernel) beginRaisedExec(t *Thread, req request) {
+func (k *Kernel) beginRaisedExec(t *Thread, req *request) bool {
 	if req.cycles <= 0 {
 		t.needsResume = true
-		return
+		return true
 	}
 	level := levelDispatch
 	switch {
@@ -262,11 +287,16 @@ func (k *Kernel) beginRaisedExec(t *Thread, req request) {
 	act.remaining = req.cycles
 	act.onComplete = t.onRaisedDoneFn
 	k.occupy(act)
+	// The dispatch-loop pass this replaces would find nothing above the
+	// section's level (see serveOne) and land in resumeTop; arm the
+	// completion clock directly instead.
+	k.resumeTop()
+	return false
 }
 
 // beginWait implements KeWaitForSingleObject semantics for the current
 // thread, including the nil-object pure-timeout form used by Sleep.
-func (k *Kernel) beginWait(t *Thread, req request) {
+func (k *Kernel) beginWait(t *Thread, req *request) {
 	if req.obj != nil && req.obj.poll(t) {
 		t.resumeVal = resumeMsg{status: WaitSuccess}
 		t.needsResume = true
@@ -296,7 +326,7 @@ func (k *Kernel) beginWait(t *Thread, req request) {
 // beginWaitAny implements KeWaitForMultipleObjects (WaitAny) for the
 // current thread: satisfy immediately from the first signaled object, or
 // register on all of them.
-func (k *Kernel) beginWaitAny(t *Thread, req request) {
+func (k *Kernel) beginWaitAny(t *Thread, req *request) {
 	for i, o := range req.objs {
 		if o.poll(t) {
 			t.resumeVal = resumeMsg{status: WaitSuccess, index: i}

@@ -44,6 +44,15 @@ const (
 	reqExit
 	reqRaisedExec
 	reqWaitAny
+	// reqYield carries no payload: the body ran a kernel-context closure
+	// inline (see ThreadContext.call) and something above thread level
+	// became runnable, so the dispatch loop must take a pass before the
+	// body continues.
+	reqYield
+	// reqPanic forwards a panic from an inlined kernel-context closure to
+	// the kernel goroutine: bug checks must unwind the engine (the
+	// simulated BSOD), not the offending thread's goroutine.
+	reqPanic
 )
 
 type request struct {
@@ -54,6 +63,7 @@ type request struct {
 	objs    []Waitable // reqWaitAny
 	timeout sim.Cycles // reqWait/reqWaitAny; <0 means infinite
 	irql    IRQL       // reqRaisedExec
+	pv      any        // reqPanic
 }
 
 type resumeMsg struct {
@@ -179,7 +189,8 @@ func (k *Kernel) CreateThread(name string, priority int, fn func(tc *ThreadConte
 		fn(tc)
 		// Body returned: deliver the exit request. The kernel never
 		// resumes a terminated thread, so the goroutine ends here.
-		k.reqCh <- request{kind: reqExit}
+		tc.req = request{kind: reqExit}
+		k.reqCh <- &tc.req
 	}()
 
 	k.pushReadyBack(t)
@@ -219,6 +230,11 @@ func (t *Thread) State() string { return t.state.String() }
 type ThreadContext struct {
 	k *Kernel
 	t *Thread
+	// req is the request in flight over k.reqCh. The channel carries a
+	// pointer to this scratch slot rather than the ~100-byte struct: the
+	// body goroutine only reuses it after the kernel resumes it, by which
+	// point serveOne has consumed the previous request.
+	req request
 }
 
 // Thread returns the underlying thread.
@@ -242,7 +258,8 @@ func (tc *ThreadContext) await() resumeMsg {
 
 // send delivers a request and blocks until resumed.
 func (tc *ThreadContext) send(r request) resumeMsg {
-	tc.k.reqCh <- r
+	tc.req = r
+	tc.k.reqCh <- &tc.req
 	return tc.await()
 }
 
@@ -252,6 +269,12 @@ func (tc *ThreadContext) send(r request) resumeMsg {
 func (tc *ThreadContext) Exec(c sim.Cycles) {
 	if c < 0 {
 		panic("kernel: negative exec")
+	}
+	if c == 0 {
+		// Nothing to run and nothing above thread level can be pending while
+		// the body holds the CPU (see call), so the scheduler pass a
+		// round trip would trigger provably resumes us unchanged.
+		return
 	}
 	tc.send(request{kind: reqExec, cycles: c})
 }
@@ -277,10 +300,42 @@ func (tc *ThreadContext) ExecRaised(irql IRQL, c sim.Cycles) {
 	tc.send(request{kind: reqRaisedExec, cycles: c, irql: irql})
 }
 
-// Call runs fn in kernel context at the current instant (used to build the
+// call runs fn in kernel context at the current instant (used to build the
 // Ke*/Io* wrappers below; fn must not block).
+//
+// While a thread body runs, the kernel goroutine is parked inside serveOne
+// and virtual time stands still, so the body has exclusive access to all
+// kernel state and fn can execute right here — no scheduler round trip.
+// The round trip is only needed when fn made work runnable above thread
+// level (asserted an interrupt, queued a DPC, injected an episode, readied
+// a higher-priority thread): exactly the set the dispatch loop would admit
+// before resuming this body, and nothing else can have changed, because
+// nothing but this body runs between its own requests. Any maybeRun that
+// fn triggers is a no-op either way — the kernel goroutine parked inside
+// the dispatch loop, so the re-entrancy guard holds.
 func (tc *ThreadContext) call(fn func()) {
-	tc.send(request{kind: reqCall, fn: fn})
+	tc.runKernelFn(fn)
+	k, t := tc.k, tc.t
+	if k.irqPending == 0 && len(k.dpcQ) == 0 && len(k.episodes) == 0 &&
+		k.bestReadyPriority() <= t.priority {
+		return
+	}
+	tc.send(request{kind: reqYield})
+}
+
+// runKernelFn executes an inlined kernel-context closure, re-raising any
+// panic on the kernel goroutine so bug checks keep surfacing through the
+// engine. The offending goroutine then parks like any bug-checked thread
+// (Shutdown still unwinds it).
+func (tc *ThreadContext) runKernelFn(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			tc.req = request{kind: reqPanic, pv: r}
+			tc.k.reqCh <- &tc.req
+			tc.await()
+		}
+	}()
+	fn()
 }
 
 // Do runs fn in kernel context at the current virtual instant — the
@@ -289,7 +344,16 @@ func (tc *ThreadContext) call(fn func()) {
 func (tc *ThreadContext) Do(fn func()) { tc.call(fn) }
 
 // Wait blocks until obj is signaled (KeWaitForSingleObject, infinite).
+//
+// A wait an initial poll satisfies never blocks, and poll side effects
+// (auto-reset clear, semaphore decrement, mutex acquire) make nothing
+// runnable, so by the same exclusive-access argument as call the
+// scheduler round trip is skipped entirely. beginWait runs the identical
+// poll first, so the observable effect sequence is unchanged.
 func (tc *ThreadContext) Wait(obj Waitable) WaitStatus {
+	if obj != nil && obj.poll(tc.t) {
+		return WaitSuccess
+	}
 	return tc.send(request{kind: reqWait, obj: obj, timeout: -1}).status
 }
 
@@ -300,6 +364,11 @@ func (tc *ThreadContext) Wait(obj Waitable) WaitStatus {
 func (tc *ThreadContext) WaitAny(objs ...Waitable) int {
 	if len(objs) == 0 {
 		panic("kernel: WaitAny with no objects")
+	}
+	for i, o := range objs {
+		if o.poll(tc.t) { // same first-signaled-wins order as beginWaitAny
+			return i
+		}
 	}
 	msg := tc.send(request{kind: reqWaitAny, objs: objs, timeout: -1})
 	return msg.index
@@ -313,6 +382,11 @@ func (tc *ThreadContext) WaitAnyTimeout(d sim.Cycles, objs ...Waitable) (int, Wa
 	if d < 0 {
 		panic("kernel: negative wait timeout")
 	}
+	for i, o := range objs {
+		if o.poll(tc.t) {
+			return i, WaitSuccess
+		}
+	}
 	msg := tc.send(request{kind: reqWaitAny, objs: objs, timeout: d})
 	if msg.status == WaitTimedOut {
 		return -1, msg.status
@@ -324,6 +398,9 @@ func (tc *ThreadContext) WaitAnyTimeout(d sim.Cycles, objs ...Waitable) (int, Wa
 func (tc *ThreadContext) WaitTimeout(obj Waitable, d sim.Cycles) WaitStatus {
 	if d < 0 {
 		panic("kernel: negative wait timeout")
+	}
+	if obj != nil && obj.poll(tc.t) {
+		return WaitSuccess // satisfied before the timeout is ever armed
 	}
 	return tc.send(request{kind: reqWait, obj: obj, timeout: d}).status
 }

@@ -100,9 +100,9 @@ func (k *Kernel) CancelTimer(t *Timer) bool { return k.cancelTimer(t) }
 func (k *Kernel) clockISR(c *IsrContext) {
 	c.Charge(k.draw(k.cfg.ClockTick))
 	now := c.Now()
-	// Fire due timers. The slice is rebuilt without fired single-shot
-	// timers; periodic timers re-arm in place.
-	var keep []*Timer
+	// Fire due timers. The slice is filtered in place (the write index
+	// never passes the read index), so the tick allocates nothing.
+	keep := k.timers[:0]
 	for _, t := range k.timers {
 		if !t.active || t.due.After(now) {
 			keep = append(keep, t)
@@ -129,6 +129,9 @@ func (k *Kernel) clockISR(c *IsrContext) {
 		} else {
 			t.active = false
 		}
+	}
+	for i := len(keep); i < len(k.timers); i++ {
+		k.timers[i] = nil // drop fired single-shot refs from the backing array
 	}
 	k.timers = keep
 }

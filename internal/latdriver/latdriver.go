@@ -97,6 +97,12 @@ type Tool struct {
 	running bool
 	unhook  func()
 
+	// Measurement-loop callbacks, hoisted to fields so the per-cycle
+	// issueRead path allocates nothing (both close over t alone, and the
+	// loop runs once per sample).
+	onComplete func(*kernel.IRP, sim.Time)
+	rearm      func(sim.Time)
+
 	// Results.
 	hDpcInt       *stats.Histogram // estimated, the paper's headline number
 	hDpcIntOracle *stats.Histogram // against exact tick time
@@ -290,25 +296,32 @@ func (t *Tool) Start() error {
 }
 
 func (t *Tool) issueRead() error {
-	_, err := t.drv.ReadFileEx(func(irp *kernel.IRP, at sim.Time) {
-		t.samples++
-		if !t.running {
-			return
-		}
-		// The control application calculates and outputs the latencies
-		// before issuing the next ReadFileEx (Figure 3, "Control App:
-		// Calculate, Output Latencies"); its user-mode delay varies, which
-		// smears the next cycle's timer phase across the PIT period.
-		delay := t.k.Engine().RNG().Cyclesn(t.k.TickPeriod())
-		t.k.Engine().After(delay, "latctl-rearm", func(sim.Time) {
+	if t.onComplete == nil {
+		t.rearm = func(sim.Time) {
 			if !t.running {
 				return
 			}
 			if err := t.issueRead(); err != nil {
 				panic(err)
 			}
-		})
-	})
+		}
+		t.onComplete = func(irp *kernel.IRP, at sim.Time) {
+			t.samples++
+			if t.running {
+				// The control application calculates and outputs the
+				// latencies before issuing the next ReadFileEx (Figure 3,
+				// "Control App: Calculate, Output Latencies"); its
+				// user-mode delay varies, which smears the next cycle's
+				// timer phase across the PIT period.
+				delay := t.k.Engine().RNG().Cyclesn(t.k.TickPeriod())
+				t.k.Engine().After(delay, "latctl-rearm", t.rearm)
+			}
+			// The driver has dropped its inflight reference by completion
+			// time and nothing reads the packet after this routine.
+			t.k.FreeIRP(irp)
+		}
+	}
+	_, err := t.drv.ReadFileEx(t.onComplete)
 	return err
 }
 

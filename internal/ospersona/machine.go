@@ -162,6 +162,7 @@ func (m *Machine) buildDisk() {
 			if fn, ok := req.Tag.(func(*kernel.DpcContext)); ok && fn != nil {
 				fn(c)
 			}
+			m.Disk.FreeRequest(req)
 		}
 	})
 }
@@ -237,7 +238,9 @@ func (m *Machine) FileOp(bytes int, write bool, onDone func(*kernel.DpcContext))
 	if m.Opts.VirusScanner {
 		m.apply(m.Profile.VirusScanner, m.Profile.ScanFrames, m.Profile.MaskFrames, nil)
 	}
-	m.Disk.Submit(&hw.DiskRequest{Bytes: bytes, Write: write, Tag: onDone})
+	req := m.Disk.AllocRequest()
+	req.Bytes, req.Write, req.Tag = bytes, write, onDone
+	m.Disk.Submit(req)
 }
 
 // UIEvent models one user-interface event (keystroke batch, menu, dialog).
@@ -274,7 +277,9 @@ func (m *Machine) PageFaultBurst(pages int) {
 	m.pageFaults++
 	m.apply(m.Profile.PageFault, m.Profile.LockFrames, m.Profile.MaskFrames, &m.diskDpcExtra)
 	if pages > 0 {
-		m.Disk.Submit(&hw.DiskRequest{Bytes: pages * 4096, Tag: (func(*kernel.DpcContext))(nil)})
+		req := m.Disk.AllocRequest()
+		req.Bytes, req.Tag = pages*4096, (func(*kernel.DpcContext))(nil)
+		m.Disk.Submit(req)
 	}
 }
 

@@ -1,0 +1,364 @@
+package sim
+
+import "math/bits"
+
+// The event queue is a hierarchical timing wheel (Varghese & Lauck) with the
+// 4-ary min-heap of event.go demoted to an overflow area for the far future.
+//
+// Layout: wheelLevels levels of wheelSlots slots each. A level-l slot spans
+// 256^l cycles, so level 0 buckets events by their exact cycle and level l
+// covers deltas in [256^l, 256^(l+1)). An event delta cycles ahead of the
+// clock is linked into level floor(log256 delta) — an O(1) insert — and
+// cascades one level down each time the clock enters its slot's window,
+// reaching level 0 (and dispatch) after at most wheelLevels-1 O(1) moves.
+// Events overflowCutoff or more cycles ahead go to the overflow heap and
+// migrate into the wheel as the clock approaches (see migrate/advanceTo).
+//
+// Slots are circular doubly-linked lists threaded through the Event records
+// themselves (next/prev, with head.prev holding the tail for O(1) append),
+// so the wheel allocates nothing: events move between the free list, slot
+// lists and the overflow heap without a single per-slot slice. Per-level
+// occupancy bitmaps (one bit per slot) make "next occupied slot" a handful
+// of word scans, which is what lets the clock jump across empty regions in
+// O(levels) instead of ticking slot by slot.
+//
+// Ordering invariant. Dispatch order is strictly (when, seq). A level-0
+// slot maps to exactly one instant (all level-0 events lie within
+// wheelSlots cycles of the clock, so slot index identifies the cycle), so
+// within a level-0 slot ordering is pure seq — and wheelLink keeps level-0
+// lists sorted by seq. That sort is a tail append in the common case (live
+// At/After calls carry the largest seq yet issued); the walk only triggers
+// when same-instant events reach the slot out of seq order, which takes a
+// mixed history — e.g. event A scheduled early lands at level 2 while
+// same-instant event B scheduled later (closer to the instant) lands at
+// level 1, and A's cascade arrives after B's. Higher-level slot lists need
+// no order at all: they are dispersed, never dispatched.
+
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits // 256 slots per level
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+	wheelWords  = wheelSlots / 64 // occupancy bitmap words per level
+
+	// overflowCutoff is the wheel's horizon: events at least this many
+	// cycles ahead live in the overflow heap. It is (wheelSlots-1)<<24, not
+	// wheelSlots<<24, so that a delta just under the cutoff can never carry
+	// past the top level's last reachable slot: below the cutoff the wheel
+	// placement always lands strictly ahead of the top-level cursor, and a
+	// heap event migrating below the cutoff always re-enters the wheel.
+	// At 300 MHz the horizon is ~14 s of virtual time, far beyond every
+	// periodic device timer in the simulator.
+	overflowCutoff = Cycles((wheelSlots - 1) << ((wheelLevels - 1) * wheelBits))
+)
+
+// maxTime is the "no pending event" sentinel returned by nextLandmark.
+const maxTime = Time(1<<63 - 1)
+
+// place links a pending event into the wheel or the overflow heap based on
+// its distance from the current clock. The caller has set when/seq/state.
+func (e *Engine) place(ev *Event) {
+	delta := Cycles(ev.when - e.now) // >= 0: scheduling in the past panics
+	if delta < wheelSlots {
+		e.wheelLink(0, int(uint64(ev.when)&wheelMask), ev)
+		return
+	}
+	if delta >= overflowCutoff {
+		ev.level = levelOverflow
+		e.heapPush(ev)
+		e.migrateAt = e.overflow[0].when - Time(overflowCutoff)
+		return
+	}
+	l := (bits.Len64(uint64(delta)) - 1) >> 3 // floor(log256 delta), 1..3
+	sh := uint(l * wheelBits)
+	// A carry out of the low bits can push the event one slot past what the
+	// delta alone suggests; if that lands it on the level's cursor slot
+	// (offset wheelSlots), it belongs one level up, at offset 1 there. The
+	// cutoff guarantees this cannot happen at the top level.
+	if (uint64(ev.when)>>sh)-(uint64(e.now)>>sh) >= wheelSlots {
+		l++
+		sh += wheelBits
+	}
+	e.wheelLink(l, int((uint64(ev.when)>>sh)&wheelMask), ev)
+}
+
+// wheelLink links ev into the slot list at (l, s) and marks the slot
+// occupied. head.prev is the list tail, so append is O(1) with no sentinel.
+// Level-0 lists are kept in seq order (see the ordering invariant above);
+// higher levels always append.
+func (e *Engine) wheelLink(l, s int, ev *Event) {
+	ev.level = int8(l)
+	e.lcount[l]++
+	h := e.wheel[l][s]
+	if h == nil {
+		e.wheel[l][s] = ev
+		ev.prev = ev // single element: it is its own tail
+		e.occupied[l][s>>6] |= 1 << (s & 63)
+		return
+	}
+	t := h.prev
+	if l > 0 || t.seq < ev.seq {
+		t.next = ev
+		ev.prev = t
+		h.prev = ev
+		return
+	}
+	// Out-of-order arrival at a level-0 slot: walk back from the tail to
+	// the last node scheduled before ev, and insert after it.
+	p := t
+	for p.seq > ev.seq {
+		if p == h {
+			p = nil
+			break
+		}
+		p = p.prev
+	}
+	if p == nil {
+		// New head. The old head becomes interior: its prev — the tail
+		// pointer — moves to ev, and ev inherits the tail (for a single
+		// node, h.prev is h itself, which is exactly ev's predecessor).
+		ev.next = h
+		ev.prev = h.prev
+		h.prev = ev
+		e.wheel[l][s] = ev
+		return
+	}
+	ev.next = p.next
+	ev.prev = p
+	p.next = ev
+	ev.next.prev = ev // p had a successor: p was not the tail
+}
+
+// wheelUnlink removes a pending event from its slot list in O(1). The slot
+// is recomputed from (when, level), so Reschedule must unlink before it
+// touches the timestamp.
+func (e *Engine) wheelUnlink(ev *Event) {
+	l := int(ev.level)
+	e.lcount[l]--
+	s := int((uint64(ev.when) >> uint(l*wheelBits)) & wheelMask)
+	if h := e.wheel[l][s]; ev == h {
+		nh := ev.next
+		if nh != nil {
+			nh.prev = ev.prev // new head inherits the tail pointer
+			e.wheel[l][s] = nh
+		} else {
+			e.wheel[l][s] = nil
+			e.occupied[l][s>>6] &^= 1 << (s & 63)
+		}
+	} else {
+		ev.prev.next = ev.next
+		if ev.next != nil {
+			ev.next.prev = ev.prev
+		} else {
+			h.prev = ev.prev // ev was the tail
+		}
+	}
+	ev.next, ev.prev = nil, nil
+	ev.level = levelNone
+}
+
+// unqueue removes a pending event from whichever structure holds it.
+func (e *Engine) unqueue(ev *Event) {
+	if ev.level == levelOverflow {
+		e.heapRemove(int(ev.index))
+		ev.level = levelNone
+		if len(e.overflow) == 0 {
+			e.migrateAt = maxTime
+		} else {
+			e.migrateAt = e.overflow[0].when - Time(overflowCutoff)
+		}
+		return
+	}
+	e.wheelUnlink(ev)
+}
+
+// redistribute empties the slot at (l, s), re-placing each event relative
+// to the current clock. Walking head-to-tail preserves the relative order
+// of same-instant events; every event lands at a strictly lower level (its
+// delta has shrunk below its slot's span), so cascading terminates.
+func (e *Engine) redistribute(l, s int) {
+	ev := e.wheel[l][s]
+	e.wheel[l][s] = nil
+	e.occupied[l][s>>6] &^= 1 << (s & 63)
+	for ev != nil {
+		next := ev.next
+		ev.next, ev.prev = nil, nil
+		e.lcount[l]--
+		e.place(ev)
+		ev = next
+	}
+}
+
+// nextBitFrom returns the first set bit at or after from, or -1.
+func nextBitFrom(bm *[wheelWords]uint64, from int) int {
+	if from >= wheelSlots {
+		return -1
+	}
+	wi := from >> 6
+	w := bm[wi] & (^uint64(0) << (from & 63))
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi == wheelWords {
+			return -1
+		}
+		w = bm[wi]
+	}
+}
+
+// nextLandmark returns the earliest instant at which the queue needs
+// attention: the exact time of the next level-0 event, the window start of
+// the next occupied higher-level slot (whose events must cascade there), or
+// the overflow minimum once the wheel is empty. maxTime means no events.
+//
+// The returned time never skips an event: every pending event's timestamp
+// is >= some landmark at or before it, so advancing the clock to the
+// landmark and cascading the slots that come due is always safe.
+func (e *Engine) nextLandmark() Time {
+	if e.npend == len(e.overflow) {
+		// Wheel empty. The heap minimum is exact — and whenever the wheel
+		// is non-empty its landmark wins, because every wheel event is
+		// within overflowCutoff of the clock and, after the last advance's
+		// migration, every heap event is not.
+		if len(e.overflow) == 0 {
+			return maxTime
+		}
+		return e.overflow[0].when
+	}
+	now := uint64(e.now)
+	c := int(now & wheelMask)
+	best := maxTime
+	if e.lcount[0] > 0 {
+		if s := nextBitFrom(&e.occupied[0], c); s >= 0 {
+			// In-window level-0 hit: at most c+255, before any higher-level
+			// slot start, which is past the next 256-cycle boundary.
+			return e.now + Time(s-c)
+		}
+		if s := nextBitFrom(&e.occupied[0], 0); s >= 0 {
+			best = e.now + Time(s+wheelSlots-c) // level 0, next revolution
+		}
+	}
+	for l := 1; l < wheelLevels; l++ {
+		if e.lcount[l] == 0 {
+			continue
+		}
+		sh := uint(l * wheelBits)
+		boundary := Time((now>>sh + 1) << sh)
+		if best <= boundary {
+			return best // level >= l slots all start at or past boundary
+		}
+		bm := &e.occupied[l]
+		cl := int((now >> sh) & wheelMask)
+		var d int
+		// Occupied slots at level >= 1 sit strictly ahead of the cursor
+		// (its own slot cascades the moment the clock arrives), so the
+		// wrap scan below cannot double-count the cursor slot.
+		if s := nextBitFrom(bm, cl+1); s >= 0 {
+			d = s - cl
+		} else {
+			d = nextBitFrom(bm, 0) + wheelSlots - cl
+		}
+		if t := Time((now>>sh + uint64(d)) << sh); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// advanceTo moves the clock to t, migrating newly-near overflow events into
+// the wheel and cascading every occupied slot whose window the clock just
+// entered. The caller guarantees no event fires in (e.now, t) — t is at most
+// the value nextLandmark returned, or the exact timestamp of the earliest
+// pending event (minWhen): in either case an occupied higher-level slot
+// window cannot lie entirely inside the jump (it would contain an earlier
+// event), so it either contains t — it is the landing slot, and cascades —
+// or starts after t and is untouched.
+//
+// The body is small enough to inline; the common case (no overflow events,
+// no 256-cycle boundary crossed) advances the clock with no cascade work.
+func (e *Engine) advanceTo(t Time) {
+	old := e.now
+	e.now = t
+	if t > e.migrateAt || (uint64(old)^uint64(t))>>wheelBits != 0 {
+		e.advanceSlow(old)
+	}
+}
+
+func (e *Engine) advanceSlow(oldT Time) {
+	old, now := uint64(oldT), uint64(e.now)
+	// Migrate before cascading: a heap event sharing an instant with a
+	// wheel event was necessarily scheduled earlier (see the ordering
+	// invariant above), so it must reach the slot list first.
+	if e.now > e.migrateAt {
+		for len(e.overflow) > 0 && Cycles(e.overflow[0].when-e.now) < overflowCutoff {
+			ev := e.heapPopMin()
+			ev.level = levelNone
+			e.place(ev)
+		}
+		if len(e.overflow) == 0 {
+			e.migrateAt = maxTime
+		} else {
+			e.migrateAt = e.overflow[0].when - Time(overflowCutoff)
+		}
+	}
+	if e.lcount[1]|e.lcount[2]|e.lcount[3] == 0 {
+		return // nothing above level 0: no slot can need a cascade
+	}
+	for l := 1; l < wheelLevels; l++ {
+		sh := uint(l * wheelBits)
+		if old>>sh == now>>sh {
+			return // this level's cursor did not move; higher ones did not either
+		}
+		s := int((now >> sh) & wheelMask)
+		if e.occupied[l][s>>6]&(1<<(s&63)) != 0 {
+			e.redistribute(l, s)
+		}
+	}
+}
+
+// dispatchBatch fires every event at the current instant — the whole
+// level-0 slot — in one pass, in FIFO (seq) order. Events the callbacks
+// schedule for this same instant are appended to the same slot and fire in
+// the same batch; events they cancel are unlinked and skipped. Each record
+// is recycled only after its callback returns (the handle-drop window).
+func (e *Engine) dispatchBatch() int {
+	s := int(uint64(e.now) & wheelMask)
+	n := 0
+	for {
+		ev := e.wheel[0][s]
+		if ev == nil {
+			break
+		}
+		// Head unlink, spelled out: the general wheelUnlink re-derives the
+		// slot and branches on list position, all known here.
+		if nh := ev.next; nh != nil {
+			nh.prev = ev.prev
+			e.wheel[0][s] = nh
+		} else {
+			e.wheel[0][s] = nil
+			e.occupied[0][s>>6] &^= 1 << (s & 63)
+		}
+		ev.next, ev.prev = nil, nil
+		ev.level = levelNone
+		e.lcount[0]--
+		e.npend--
+		e.nfired++
+		n++
+		fn := ev.fn
+		ev.state = stateDead
+		if e.npend == 0 {
+			e.minWhen, e.minOK = maxTime, true
+		}
+		fn(e.now)
+		e.release(ev)
+	}
+	// Everything at this instant is gone; a cached minimum pointing at it
+	// is stale (unless a callback emptied-then-refilled the queue, which
+	// revalidated it with a strictly later timestamp).
+	if e.minOK && e.minWhen == e.now && e.npend > 0 {
+		e.minOK = false
+	}
+	return n
+}

@@ -1,0 +1,435 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// Differential oracle for the timing wheel: a deliberately naive reference
+// engine — a container/heap priority queue over (when, seq) with the same
+// observable contract (Step, RunUntil batching, Cancel, Reschedule, FIFO at
+// one instant) — is driven through identical random scripts, and the two
+// dispatch traces must agree entry for entry on (time, seq, label). The
+// wheel's cascades, carry bumps and overflow migrations are invisible to
+// the trace, which is exactly the point: they must be.
+
+type traceEntry struct {
+	when  Time
+	seq   uint64
+	label string
+}
+
+type refItem struct {
+	when  Time
+	seq   uint64
+	index int // heap index, -1 once popped or removed
+	fn    func(Time)
+}
+
+type refQueue []*refItem
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *refQueue) Push(x any) {
+	it := x.(*refItem)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}
+
+// refEngine is the reference implementation. Its seq counter must advance
+// in lockstep with the wheel engine's: both assign one seq per At and one
+// per Reschedule, in script order.
+type refEngine struct {
+	now Time
+	seq uint64
+	q   refQueue
+}
+
+func (r *refEngine) at(t Time, fn func(Time)) *refItem {
+	it := &refItem{when: t, seq: r.seq, fn: fn}
+	r.seq++
+	heap.Push(&r.q, it)
+	return it
+}
+
+func (r *refEngine) cancel(it *refItem) {
+	heap.Remove(&r.q, it.index)
+}
+
+func (r *refEngine) reschedule(it *refItem, t Time) {
+	it.when = t
+	it.seq = r.seq
+	r.seq++
+	heap.Fix(&r.q, it.index)
+}
+
+func (r *refEngine) step() {
+	it := heap.Pop(&r.q).(*refItem)
+	if it.when > r.now {
+		r.now = it.when
+	}
+	it.fn(r.now)
+}
+
+func (r *refEngine) runUntil(t Time) {
+	// Re-checking the heap top after every dispatch gives the batching
+	// semantics for free: events scheduled mid-batch at or before t —
+	// including at the current instant — fire in this same call, in seq
+	// order.
+	for len(r.q) > 0 && r.q[0].when <= t {
+		r.step()
+	}
+	if r.now < t {
+		r.now = t
+	}
+}
+
+// fuzzDelta draws a delay biased toward the wheel's interesting regimes:
+// zero (same-instant FIFO), level 0, the level-1 carry boundary, mid-wheel,
+// both sides of the overflow cutoff, and the far future.
+func fuzzDelta(rng *RNG) Cycles {
+	switch rng.Intn(8) {
+	case 0:
+		return 0
+	case 1:
+		return Cycles(rng.Intn(wheelSlots))
+	case 2:
+		return Cycles(wheelSlots + rng.Intn(1<<16))
+	case 3: // straddle the level-1/level-2 boundary
+		return Cycles(1<<16 - 2 + rng.Intn(4))
+	case 4:
+		return Cycles(rng.Intn(int(overflowCutoff)))
+	case 5: // just past the cutoff: overflow heap, migrates back soon
+		return overflowCutoff + Cycles(rng.Intn(1<<20))
+	case 6: // just inside the cutoff: top wheel level
+		return overflowCutoff - 1 - Cycles(rng.Intn(1<<10))
+	default:
+		return Cycles(rng.Intn(1 << 30))
+	}
+}
+
+var fuzzLabels = [...]string{"zero", "l0", "l1", "carry", "mid", "ovf+", "ovf-", "far"}
+
+// TestWheelMatchesReferenceEngine drives the wheel engine and the reference
+// heap engine through the same random At/Cancel/Reschedule/Step/RunUntil
+// scripts and requires byte-identical (time, seq, label) dispatch traces.
+// Some events spawn a same-or-later-instant child from inside their
+// callback, so mid-batch scheduling is exercised on both sides.
+func TestWheelMatchesReferenceEngine(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		rng := NewRNG(uint64(trial) + 0x9E3779B9)
+		e := NewEngine(1)
+		ref := &refEngine{}
+
+		var engTrace, refTrace []traceEntry
+
+		// One live record mirrors one pending event on both sides. The
+		// engine callback marks it dead; by the time any later op can pick
+		// it, the reference side has dispatched it too (traces are checked
+		// to agree), so its heap index is likewise stale on both sides.
+		type liveRec struct {
+			ev    *Event
+			it    *refItem
+			seq   uint64
+			label string
+			dead  bool
+		}
+		var live []*liveRec
+
+		// scheduleBoth schedules a matched pair at absolute time at. spawn
+		// controls whether the callbacks schedule a child (delay drawn once,
+		// at schedule time, so both sides agree) when they fire.
+		var scheduleBoth func(at Time, label string, spawn bool) *liveRec
+		scheduleBoth = func(at Time, label string, spawn bool) *liveRec {
+			rec := &liveRec{label: label}
+			var childD Cycles
+			if spawn {
+				childD = Cycles(rng.Intn(512)) // 0 allowed: same-instant child
+			}
+			rec.ev = e.At(at, label, func(now Time) {
+				rec.dead = true
+				engTrace = append(engTrace, traceEntry{now, rec.seq, rec.label})
+				if spawn {
+					cr := &liveRec{label: "child", dead: true} // fire-only
+					cr.ev = e.At(now.Add(childD), "child", func(cn Time) {
+						engTrace = append(engTrace, traceEntry{cn, cr.seq, "child"})
+					})
+					cr.seq = cr.ev.seq
+				}
+			})
+			rec.seq = rec.ev.seq
+			rec.it = ref.at(at, func(now Time) {
+				refTrace = append(refTrace, traceEntry{now, rec.it.seq, rec.label})
+				if spawn {
+					var cit *refItem
+					cit = ref.at(now.Add(childD), func(cn Time) {
+						refTrace = append(refTrace, traceEntry{cn, cit.seq, "child"})
+					})
+				}
+			})
+			if rec.seq != rec.it.seq {
+				t.Fatalf("trial %d: seq skew at schedule: engine %d, reference %d", trial, rec.seq, rec.it.seq)
+			}
+			return rec
+		}
+
+		// pickLive returns a random still-pending record, compacting dead
+		// ones out of the slice as it goes (swap-delete keeps it O(1) and,
+		// with the shared rng, deterministic per trial).
+		pickLive := func() *liveRec {
+			for len(live) > 0 {
+				i := rng.Intn(len(live))
+				rec := live[i]
+				if !rec.dead {
+					return rec
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			return nil
+		}
+
+		for op := 0; op < 3000; op++ {
+			if e.Now() != ref.now {
+				t.Fatalf("trial %d op %d: clock skew: engine %d, reference %d", trial, op, e.Now(), ref.now)
+			}
+			if e.Pending() != ref.q.Len() {
+				t.Fatalf("trial %d op %d: pending %d, reference %d", trial, op, e.Pending(), ref.q.Len())
+			}
+			switch r := rng.Intn(100); {
+			case r < 40: // schedule
+				k := rng.Intn(len(fuzzLabels)) // label class drawn independently of delta
+				d := fuzzDelta(rng)
+				live = append(live, scheduleBoth(e.Now().Add(d), fuzzLabels[k], rng.Intn(4) == 0))
+			case r < 55: // cancel
+				if rec := pickLive(); rec != nil {
+					if !e.Cancel(rec.ev) {
+						t.Fatalf("trial %d op %d: cancel of live event failed", trial, op)
+					}
+					ref.cancel(rec.it)
+					rec.dead = true
+				}
+			case r < 70: // reschedule, seq reassigned on both sides
+				if rec := pickLive(); rec != nil {
+					at := e.Now().Add(fuzzDelta(rng))
+					e.Reschedule(rec.ev, at)
+					ref.reschedule(rec.it, at)
+					rec.seq = rec.ev.seq
+					if rec.seq != rec.it.seq {
+						t.Fatalf("trial %d op %d: seq skew after reschedule", trial, op)
+					}
+				}
+			case r < 85: // single step
+				if e.Pending() > 0 {
+					e.Step()
+					ref.step()
+				}
+			default: // batched run
+				at := e.Now().Add(fuzzDelta(rng))
+				e.RunUntil(at)
+				ref.runUntil(at)
+			}
+		}
+		// Drain both sides completely.
+		for e.Pending() > 0 {
+			e.Step()
+			ref.step()
+		}
+		if ref.q.Len() != 0 {
+			t.Fatalf("trial %d: reference still holds %d events after engine drained", trial, ref.q.Len())
+		}
+
+		if len(engTrace) != len(refTrace) {
+			t.Fatalf("trial %d: engine dispatched %d events, reference %d", trial, len(engTrace), len(refTrace))
+		}
+		for i := range engTrace {
+			if engTrace[i] != refTrace[i] {
+				t.Fatalf("trial %d: dispatch %d diverges: engine %+v, reference %+v",
+					trial, i, engTrace[i], refTrace[i])
+			}
+		}
+	}
+}
+
+// TestWheelCancelDuringBatch cancels a later same-instant event from inside
+// an earlier callback of the same batch: the victim must not fire, and the
+// batch must carry on past the hole.
+func TestWheelCancelDuringBatch(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	evs := make([]*Event, 5)
+	for i := range evs {
+		i := i
+		evs[i] = e.At(10, "batch", func(Time) {
+			fired = append(fired, i)
+			if i == 0 {
+				if !e.Cancel(evs[3]) {
+					t.Fatal("mid-batch cancel of a pending same-instant event failed")
+				}
+			}
+		})
+	}
+	e.RunUntil(10)
+	want := []int{0, 1, 2, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestWheelSameInstantScheduleDuringBatch schedules at the current instant
+// from inside a batch: the child (and its own grandchild) must fire within
+// the same RunUntil call, after the previously queued events, in seq order.
+func TestWheelSameInstantScheduleDuringBatch(t *testing.T) {
+	e := NewEngine(1)
+	var fired []string
+	e.At(10, "a", func(now Time) {
+		fired = append(fired, "a")
+		e.At(now, "child", func(cn Time) {
+			fired = append(fired, "child")
+			e.At(cn, "grandchild", func(Time) {
+				fired = append(fired, "grandchild")
+			})
+		})
+	})
+	e.At(10, "b", func(Time) { fired = append(fired, "b") })
+	e.RunUntil(10)
+	want := []string{"a", "b", "child", "grandchild"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if e.Now() != 10 || e.Pending() != 0 {
+		t.Fatalf("now = %d pending = %d, want 10 and 0", e.Now(), e.Pending())
+	}
+}
+
+// TestWheelRunUntilBoundary checks the inclusive edge: RunUntil(t) fires
+// events at exactly t but nothing one cycle later.
+func TestWheelRunUntilBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.At(100, "at", func(now Time) { fired = append(fired, now) })
+	e.At(101, "after", func(now Time) { fired = append(fired, now) })
+	e.RunUntil(100)
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("after RunUntil(100): fired %v, want [100]", fired)
+	}
+	if e.Now() != 100 || e.Pending() != 1 {
+		t.Fatalf("now = %d pending = %d, want 100 and 1", e.Now(), e.Pending())
+	}
+	e.RunUntil(101)
+	if len(fired) != 2 || fired[1] != 101 {
+		t.Fatalf("after RunUntil(101): fired %v, want [100 101]", fired)
+	}
+}
+
+// TestWheelOverflowCascade covers the far-future path: events beyond the
+// overflow cutoff migrate back into the wheel as the clock approaches, fire
+// at their exact timestamps in order, and stay cancellable both while in
+// the heap and after migrating into the wheel.
+func TestWheelOverflowCascade(t *testing.T) {
+	e := NewEngine(1)
+	var fired []string
+	tA := Time(0).Add(overflowCutoff + 10) // overflow heap
+	tB := Time(0).Add(overflowCutoff - 1)  // top wheel level, just inside
+	e.At(tA, "a", func(now Time) {
+		if now != tA {
+			t.Fatalf("a fired at %d, want %d", now, tA)
+		}
+		fired = append(fired, "a")
+	})
+	e.At(tB, "b", func(now Time) {
+		if now != tB {
+			t.Fatalf("b fired at %d, want %d", now, tB)
+		}
+		fired = append(fired, "b")
+	})
+	e.At(50, "c", func(Time) { fired = append(fired, "c") })
+
+	// d starts in the overflow heap and is cancelled there.
+	d := e.At(Time(0).Add(2*overflowCutoff), "d", func(Time) { t.Fatal("cancelled d fired") })
+	if !e.Cancel(d) {
+		t.Fatal("cancel of overflow-resident event failed")
+	}
+	// f starts in the overflow heap, migrates into the wheel as the clock
+	// closes in, and must still cancel cleanly afterwards.
+	tF := Time(0).Add(overflowCutoff + 100)
+	f := e.At(tF, "f", func(Time) { t.Fatal("cancelled f fired") })
+	e.RunUntil(tF - 50) // a and b (and c) fire; f has migrated by now
+	if !e.Cancel(f) {
+		t.Fatal("cancel of migrated event failed")
+	}
+	e.RunUntil(tF + 100)
+
+	want := []string{"c", "b", "a"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestWheelSteadyStateAllocFree pins the zero-allocation contract across
+// every queue regime at once: level-0 ticks, a mid-wheel period that
+// cascades through carries, and a far-future period that cycles through the
+// overflow heap and back. Once the pool and heap slice are warm, neither
+// Step nor batched RunUntil may allocate.
+func TestWheelSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	e := NewEngine(1)
+	var tick, slow, far func(Time)
+	tick = func(Time) { e.After(100, "tick", tick) }
+	slow = func(Time) { e.After(70_000, "slow", slow) } // level 2: cascades twice
+	far = func(Time) { e.After(overflowCutoff+5, "far", far) }
+	e.After(100, "tick", tick)
+	e.After(70_000, "slow", slow)
+	e.After(overflowCutoff+5, "far", far)
+	for i := 0; i < 2000; i++ { // warm the pool and the overflow slice
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(2000, func() { e.Step() }); avg != 0 {
+		t.Fatalf("steady-state Step allocates %v allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { e.RunUntil(e.Now().Add(5_000)) }); avg != 0 {
+		t.Fatalf("steady-state RunUntil allocates %v allocs/op, want 0", avg)
+	}
+}
