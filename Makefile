@@ -75,8 +75,8 @@ service:
 # the distributed-execution guarantees have their own failing gate, plus
 # the backoff-schedule pin the worker loop shares with the HTTP client.
 fleet-faults:
-	$(GO) test -race -run 'TestCoordinator|TestFleetSharding|TestFleetHTTP' ./internal/server/
-	$(GO) test -race -run 'TestBackoff' ./internal/client/
+	$(GO) test -race -run 'TestCoordinator|TestFleetSharding|TestFleetHTTP|TestJournal|TestServerResumes|TestServerDoesNotResume' ./internal/server/
+	$(GO) test -race -run 'TestBackoff|TestWorker|TestRunWorker' ./internal/client/
 
 # cover: the coverage gate for the campaign runtime, the metrics registry,
 # and (since fleet mode) the service wire types and the server — coordinator
@@ -168,4 +168,4 @@ reproduce:
 	$(GO) run ./cmd/reproduce -duration 30m -runs 3
 
 clean:
-	rm -rf results-smoke results-resume-smoke results-serve-smoke results-horde-smoke cover.out latserved-cache
+	rm -rf results-smoke results-resume-smoke results-serve-smoke results-horde-smoke cover.out latserved-cache latworkd-cache

@@ -5,6 +5,10 @@
 // or repeated — share one execution, and with -cache the per-cell results
 // persist across restarts under their checkpoint-store fingerprints (the
 // same files a local `reproduce -checkpoint` run reads and writes).
+// -cache also holds latserved.journal, an append-only record of admitted
+// campaigns: a server killed mid-campaign re-admits its unfinished
+// campaigns on the next start and resumes them — cached cells replay from
+// disk, the rest re-execute or re-dispatch — instead of failing waiters.
 //
 // Endpoints:
 //
@@ -41,6 +45,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -66,6 +71,7 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	var st *store.Store
+	var journal *server.Journal
 	if *cache != "" {
 		var err error
 		st, err = store.Open(*cache)
@@ -73,6 +79,15 @@ func main() {
 			fail(err)
 		}
 		st.Instrument(reg)
+		// The journal lives beside the cell cache: together they are the
+		// server's durable state. On restart its unfinished campaigns are
+		// re-admitted — finished cells replay from the cache, the rest
+		// re-execute (or re-dispatch, in fleet mode) — so a crash or
+		// redeploy mid-campaign resumes instead of failing waiters.
+		journal, err = server.OpenJournal(filepath.Join(*cache, "latserved.journal"))
+		if err != nil {
+			fail(err)
+		}
 	}
 	srvOpts := server.Options{
 		Jobs:        *jobs,
@@ -81,6 +96,7 @@ func main() {
 		RetryAfter:  *retryAfter,
 		Store:       st,
 		Metrics:     reg,
+		Journal:     journal,
 	}
 	if *fleet {
 		srvOpts.Fleet = &server.CoordinatorOptions{LeaseTTL: *leaseTTL, Poll: *poll}
@@ -114,6 +130,7 @@ func main() {
 	}
 	<-ctx.Done() // ListenAndServe returned because Shutdown ran; let it finish
 	srv.Close()
+	_ = journal.Close()
 }
 
 func fail(err error) {

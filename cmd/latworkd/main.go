@@ -12,8 +12,19 @@
 //
 // SIGINT/SIGTERM stop leasing and let in-flight cells finish delivering.
 // Losing the coordinator (restart, network partition) is survivable: all
-// calls retry with jittered backoff, and a worker whose registration
-// expired transparently re-registers.
+// calls retry with jittered backoff, a worker whose registration expired
+// transparently re-registers, and once registered a worker rides out
+// arbitrary coordinator downtime instead of exiting.
+//
+// With -cache the worker is checkpoint-backed: every executed cell is
+// persisted under its content fingerprint before delivery, and every
+// lease is answered from the cache when its fingerprint is already there
+// — so a cell whose completion was lost to a coordinator crash, or one
+// re-dispatched from a dead neighbor, costs a disk read instead of a
+// re-simulation (the coordinator counts these as fleet_cells_cache_hit).
+// Point several workers at one shared directory and they pool their
+// checkpoints; the files are the same ones latserved -cache and a local
+// `reproduce -checkpoint` run read and write.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"fmt"
 	"os"
 
+	"wdmlat/internal/campaign/store"
 	"wdmlat/internal/cli"
 	"wdmlat/internal/client"
 )
@@ -31,6 +43,7 @@ func main() {
 	coord := flag.String("coord", "http://127.0.0.1:8080", "coordinator (latserved -fleet) base URL")
 	name := flag.String("name", "", "worker label for coordinator logs and /v1/fleet")
 	cells := flag.Int("cells", 1, "cells executing concurrently on this worker")
+	cache := flag.String("cache", "latworkd-cache", "checkpoint store consulted before executing and populated after (empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
 	cli.AddVersionFlag("latworkd", flag.CommandLine)
 	flag.Parse()
@@ -38,8 +51,17 @@ func main() {
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
+	var st *store.Store
+	if *cache != "" {
+		var err error
+		st, err = store.Open(*cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latworkd:", err)
+			os.Exit(1)
+		}
+	}
 	c := client.New(*coord, client.Options{})
-	opts := client.WorkerOptions{Name: *name, Cells: *cells}
+	opts := client.WorkerOptions{Name: *name, Cells: *cells, Store: st}
 	if !*quiet {
 		opts.OnCell = func(key string, err error) {
 			if err != nil {

@@ -102,9 +102,10 @@ type LeaseResponse struct {
 
 // CompleteRequest is the POST /v1/workers/{id}/complete body: one finished
 // cell. Exactly one of Result and Error is set. Result holds the cell's
-// exact core.EncodeResult document — the same bytes a local checkpoint
-// file holds — which the coordinator independently validates before
-// merging (decode, canonical re-encode, fingerprint re-derivation from the
+// canonical payload (EncodeCellResult: the core.EncodeResult document sans
+// trailing newline — the same content a local checkpoint file holds),
+// which the coordinator independently validates before merging (decode,
+// byte-exact canonical re-encode, fingerprint re-derivation from the
 // embedded config). Completion is idempotent: re-delivering an already-
 // merged cell is a no-op.
 type CompleteRequest struct {
@@ -115,6 +116,11 @@ type CompleteRequest struct {
 	// results are pure functions of the lease, so another worker would
 	// fail identically.
 	Error string `json:"error,omitempty"`
+	// Cached reports that the worker answered from its checkpoint store
+	// instead of executing — a re-dispatched cell some worker already
+	// finished. Purely telemetry (fleet_cells_cache_hit); the payload is
+	// validated identically either way.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Validate rejects completion bodies that could not possibly be merged.
@@ -125,18 +131,26 @@ func (c *CompleteRequest) Validate() error {
 	if (len(c.Result) == 0) == (c.Error == "") {
 		return fmt.Errorf("api: completion must carry exactly one of result and error")
 	}
+	if c.Cached && len(c.Result) == 0 {
+		return fmt.Errorf("api: cached completion without a result")
+	}
 	return nil
 }
 
 // EncodeCellResult produces the canonical completion payload for a result:
-// its exact core.EncodeResult document. Workers use it so the bytes they
-// deliver are the bytes a local run would have checkpointed.
+// its exact core.EncodeResult document with the encoder's trailing newline
+// stripped. The strip matters because the payload travels embedded in the
+// CompleteRequest JSON as a RawMessage, and encoding/json compacts raw
+// values in transit — a payload defined with the newline would arrive one
+// byte short of itself and never survive the coordinator's byte-exact
+// canonical check. Workers use this so the bytes they deliver are the
+// bytes a local run would have checkpointed.
 func EncodeCellResult(res *core.Result) (json.RawMessage, error) {
 	var buf bytes.Buffer
 	if err := core.EncodeResult(&buf, res); err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	return bytes.TrimSuffix(buf.Bytes(), []byte("\n")), nil
 }
 
 // WorkerStatus is one worker's row in GET /v1/fleet.

@@ -17,6 +17,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"wdmlat/internal/core"
 	"wdmlat/internal/metrics"
@@ -42,10 +43,28 @@ type Store struct {
 	reads, writes, misses *metrics.Counter
 }
 
-// Open creates (if needed) and opens a checkpoint directory.
+// Open creates (if needed) and opens a checkpoint directory, sweeping any
+// temp files (`.<fp>.tmp-*`) a crashed Save left behind. The sweep is safe
+// because a temp file is only ever visible between CreateTemp and Rename
+// inside one Save call, and Open precedes sharing the store with writers:
+// a temp that exists at Open time belongs to a process that died mid-write
+// and would otherwise leak forever.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-") {
+			// Best effort: a sweep that loses a race with a concurrent
+			// remover is fine, and a live store still works around an
+			// unremovable orphan (Save uses fresh temp names).
+			_ = os.Remove(filepath.Join(dir, name))
+		}
 	}
 	return &Store{dir: dir}, nil
 }

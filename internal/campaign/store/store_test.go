@@ -119,3 +119,41 @@ func TestFingerprintSensitivity(t *testing.T) {
 		}
 	}
 }
+
+// TestOpenSweepsOrphanedTemps: a Save interrupted between CreateTemp and
+// Rename (killed process, kernel panic) leaves `.<fp>.tmp-*` droppings
+// that nothing would ever remove. Open must sweep them — and only them:
+// real checkpoints and unrelated files survive.
+func TestOpenSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cfg := testResult(t)
+	fp := Fingerprint(7, "win98/business/default/0", cfg)
+	if err := s.Save(fp, res); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "."+fp+".tmp-1234567")
+	if err := os.WriteFile(orphan, []byte(`{"Version":1,"Conf`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bystander := filepath.Join(dir, "latserved.journal")
+	if err := os.WriteFile(bystander, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp survived Open: stat err = %v", err)
+	}
+	if got, err := s.Load(fp); err != nil || got == nil {
+		t.Fatalf("checkpoint lost to the sweep: (%v, %v)", got, err)
+	}
+	if _, err := os.Stat(bystander); err != nil {
+		t.Fatalf("unrelated file lost to the sweep: %v", err)
+	}
+}

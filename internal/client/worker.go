@@ -6,10 +6,20 @@ package client
 // Everything it sends rides the same Backoff schedule as the rest of the
 // client, and every message is idempotent — a retried completion of an
 // already-merged cell is a counted no-op on the coordinator — so the loop
-// survives dropped connections, coordinator restarts within a TTL, and
+// survives dropped connections, coordinator restarts (a session that dies
+// on a transport failure re-registers instead of exiting, so a worker
+// outlives arbitrary coordinator downtime once it has registered), and
 // its own expiry (a 410 from any call sends it back through registration
 // with a fresh identity; its old leases are re-dispatched, and if it
 // already finished one, the straggler completion still merges).
+//
+// With a Store attached the worker is checkpoint-backed: every lease is
+// looked up by fingerprint before executing — a hit (its own earlier run,
+// a neighbor sharing the directory, or a cell delivered whose completion
+// was lost to a coordinator restart) is delivered as-is and flagged
+// Cached, and every executed result is persisted before delivery. The
+// store's codec round-trips exactly, so a cached payload is byte-for-byte
+// the payload a fresh execution would deliver.
 //
 // The load-bearing check is Lease.Verify: before executing, the worker
 // re-derives the cell's checkpoint fingerprint from the lease's own fields
@@ -30,6 +40,7 @@ import (
 	"time"
 
 	"wdmlat/internal/api"
+	"wdmlat/internal/campaign/store"
 	"wdmlat/internal/core"
 )
 
@@ -46,6 +57,14 @@ type WorkerOptions struct {
 	// OnCell, if non-nil, is called after each completed cell with the
 	// cell key and the execution error (nil on success) — a logging hook.
 	OnCell func(key string, err error)
+	// Store, if non-nil, is the worker's local (or host-shared) checkpoint
+	// store: leases are answered from it by fingerprint when possible
+	// (reported Cached to the coordinator) and executed results are
+	// persisted to it before delivery, so a re-dispatched straggler cell
+	// costs a disk read instead of a re-simulation. Load failures fall
+	// back to execution; Save failures are surfaced on OnCell only —
+	// persistence is an optimization, never a correctness dependency.
+	Store *store.Store
 }
 
 // ErrWorkerSkew is wrapped by RunWorker when a lease fails verification:
@@ -58,7 +77,16 @@ var ErrWorkerSkew = errors.New("worker/coordinator version skew")
 // drains (returns nil), or a lease fails verification (returns
 // ErrWorkerSkew). Losing its registration — expired by the coordinator
 // after missed heartbeats, or a coordinator restart — is not fatal: the
-// worker re-registers and continues.
+// worker re-registers and continues. Nor is losing the coordinator
+// entirely: a session that dies on a transport failure re-registers too,
+// and once a worker has registered successfully it keeps retrying
+// registration through arbitrary downtime (each cycle carries the
+// client's full backoff budget), so a coordinator SIGKILLed mid-campaign
+// finds its fleet waiting when it comes back. Only the first registration
+// is fail-fast — a misconfigured worker should die loudly, not camp on a
+// URL that never answers — and a coordinator that answers with a
+// conclusive protocol verdict (e.g. 404: not in fleet mode) is fatal at
+// any point.
 func (c *Client) RunWorker(ctx context.Context, opts WorkerOptions) error {
 	if opts.Cells < 1 {
 		opts.Cells = 1
@@ -66,19 +94,39 @@ func (c *Client) RunWorker(ctx context.Context, opts WorkerOptions) error {
 	if opts.Execute == nil {
 		opts.Execute = core.Run
 	}
+	registered := false
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		reg, err := c.register(ctx, opts.Name)
 		if err != nil {
-			return fmt.Errorf("client: worker registration: %w", err)
+			var se *StatusError
+			if !registered || ctx.Err() != nil || isStatusError(err, &se) {
+				// Never-registered, cancelled, or a conclusive verdict
+				// (do() returns a bare *StatusError only for statuses it
+				// will not retry): give up. Transport failures arrive
+				// wrapped and fall through to another paced attempt.
+				return fmt.Errorf("client: worker registration: %w", err)
+			}
+			continue // register's own backoff paces this loop
 		}
+		registered = true
 		err = c.workerSession(ctx, reg, opts)
-		if errors.Is(err, errWorkerGone) {
+		switch {
+		case errors.Is(err, errWorkerGone):
 			continue // identity lost (expired or coordinator restart): re-register
+		case err == nil, errors.Is(err, ErrWorkerSkew), ctx.Err() != nil:
+			return err
+		default:
+			// The session died on a transport failure (coordinator
+			// restart or partition), not a protocol verdict: re-register.
+			// Paced, so a coordinator that accepts registrations but
+			// fails sessions cannot induce a hot loop.
+			if serr := c.opts.Sleep(ctx, time.Second); serr != nil {
+				return serr
+			}
 		}
-		return err
 	}
 }
 
@@ -218,23 +266,43 @@ func (c *Client) workerSession(ctx context.Context, reg api.RegisterResponse, op
 	}
 }
 
-// executeLease verifies, runs and delivers one cell. Only version skew is
-// returned as an error; execution failures are reported to the coordinator
-// (which fails the cell deterministically) and delivery problems are left
-// to lease expiry — the coordinator re-dispatches, and this worker's
-// eventual retry lands as a duplicate no-op.
+// executeLease verifies, resolves (checkpoint store first, simulator
+// second) and delivers one cell. Only version skew is returned as an
+// error; execution failures are reported to the coordinator (which fails
+// the cell deterministically) and delivery problems are left to lease
+// expiry — the coordinator re-dispatches, and this worker's eventual
+// retry lands as a duplicate no-op.
 func (c *Client) executeLease(ctx context.Context, workerID string, l api.Lease, opts WorkerOptions) error {
 	if err := l.Verify(); err != nil {
 		return fmt.Errorf("%w: %v", ErrWorkerSkew, err)
 	}
-	res, execErr := runCellRecovering(opts.Execute, l.Config)
-	req := api.CompleteRequest{Fingerprint: l.Fingerprint}
+	var res *core.Result
+	var execErr, storeErr error
+	cached := false
+	if opts.Store != nil {
+		// An unreadable or corrupt checkpoint falls back to execution —
+		// re-running a cell is always safe; serving bad bytes never is
+		// (the coordinator would reject them anyway).
+		if hit, err := opts.Store.Load(l.Fingerprint); err == nil && hit != nil {
+			res, cached = hit, true
+		}
+	}
+	if !cached {
+		res, execErr = runCellRecovering(opts.Execute, l.Config)
+		if execErr == nil && opts.Store != nil {
+			if err := opts.Store.Save(l.Fingerprint, res); err != nil {
+				storeErr = fmt.Errorf("checkpointing cell: %w", err)
+			}
+		}
+	}
+	req := api.CompleteRequest{Fingerprint: l.Fingerprint, Cached: cached}
 	if execErr != nil {
 		req.Error = execErr.Error()
 	} else {
 		payload, err := api.EncodeCellResult(res)
 		if err != nil {
 			req.Error = fmt.Sprintf("encoding result: %v", err)
+			req.Cached = false
 			execErr = err
 		} else {
 			req.Result = payload
@@ -247,7 +315,7 @@ func (c *Client) executeLease(ctx context.Context, workerID string, l api.Lease,
 		execErr = errors.Join(execErr, err)
 	}
 	if opts.OnCell != nil {
-		opts.OnCell(l.Key, execErr)
+		opts.OnCell(l.Key, errors.Join(execErr, storeErr))
 	}
 	return nil
 }

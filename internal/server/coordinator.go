@@ -59,6 +59,7 @@ const (
 	MetricFleetDuplicateDone     = "fleet_completions_duplicate" // completions of already-merged cells (no-ops)
 	MetricFleetQueueDepth        = "fleet_queue_depth"           // gauge: cells awaiting dispatch
 	MetricFleetCellsLeased       = "fleet_cells_leased"          // gauge: cells out with workers
+	MetricFleetCellsCacheHit     = "fleet_cells_cache_hit"       // accepted completions answered from a worker's checkpoint store
 )
 
 // ErrDraining is returned by ExecuteRemote for cells that could not finish
@@ -77,13 +78,22 @@ type CoordinatorOptions struct {
 	// Now overrides the clock (tests drive expiry deterministically).
 	// Must be safe for concurrent use.
 	Now func() time.Time
+	// Journal, if non-nil, durably records every fingerprint that reaches
+	// a terminal outcome, so a restarted coordinator can keep answering
+	// pre-crash stragglers with CompleteDuplicate.
+	Journal *Journal
+	// Merged seeds the merged-fingerprint set — the Journal's replayed
+	// Merged list from a prior incarnation. Completions for these
+	// fingerprints (with no live task wanting them again) are duplicates,
+	// never unknowns.
+	Merged []string
 }
 
 type coordMetrics struct {
 	registered, expired                 *metrics.Counter
 	granted, reclaimed                  *metrics.Counter
 	completed, rejected, failed         *metrics.Counter
-	redispatched, duplicate             *metrics.Counter
+	redispatched, duplicate, cacheHit   *metrics.Counter
 	workersActive, queueDepth, cellsOut *metrics.Gauge
 }
 
@@ -160,6 +170,7 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 			failed:        reg.Counter(MetricFleetCellsFailed),
 			redispatched:  reg.Counter(MetricFleetCellsRedispatched),
 			duplicate:     reg.Counter(MetricFleetDuplicateDone),
+			cacheHit:      reg.Counter(MetricFleetCellsCacheHit),
 			workersActive: reg.Gauge(MetricFleetWorkersActive),
 			queueDepth:    reg.Gauge(MetricFleetQueueDepth),
 			cellsOut:      reg.Gauge(MetricFleetCellsLeased),
@@ -169,6 +180,9 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 		merged:      map[string]struct{}{},
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+	}
+	for _, fp := range opts.Merged {
+		co.merged[fp] = struct{}{}
 	}
 	go co.janitor()
 	return co
@@ -193,9 +207,17 @@ func (co *Coordinator) janitor() {
 }
 
 // Register admits a worker and returns its identity and cadence contract.
-func (co *Coordinator) Register(name string) api.RegisterResponse {
+// ok is false while the coordinator is draining: the janitor is already
+// stopped, so a worker admitted now would sit in co.workers (and hold the
+// fleet_workers_active gauge) forever — refuse it instead, and let the
+// server answer 503 so the worker's backoff retries land on the next
+// coordinator incarnation.
+func (co *Coordinator) Register(name string) (api.RegisterResponse, bool) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	if co.draining {
+		return api.RegisterResponse{}, false
+	}
 	co.nextID++
 	w := &fleetWorker{
 		id:       "w" + strconv.Itoa(co.nextID),
@@ -210,7 +232,7 @@ func (co *Coordinator) Register(name string) api.RegisterResponse {
 		WorkerID:       w.id,
 		LeaseTTLMillis: co.opts.LeaseTTL.Milliseconds(),
 		PollMillis:     co.opts.Poll.Milliseconds(),
-	}
+	}, true
 }
 
 // Heartbeat refreshes a worker's liveness. Unknown workers (never
@@ -297,12 +319,14 @@ func (co *Coordinator) Complete(workerID string, req api.CompleteRequest) (Compl
 	if !ok {
 		if _, was := co.merged[req.Fingerprint]; was {
 			co.met.duplicate.Inc()
+			co.countCacheHitLocked(req)
 			return CompleteDuplicate, nil
 		}
 		return CompleteUnknown, fmt.Errorf("no task with fingerprint %s", req.Fingerprint)
 	}
 	if t.state == taskDone {
 		co.met.duplicate.Inc()
+		co.countCacheHitLocked(req)
 		return CompleteDuplicate, nil
 	}
 	if req.Error != "" {
@@ -333,13 +357,29 @@ func (co *Coordinator) Complete(workerID string, req api.CompleteRequest) (Compl
 		return CompleteRejected, fmt.Errorf("cell %q from worker %s rejected: %w", t.lease.Key, workerID, valErr)
 	}
 	co.met.completed.Inc()
+	co.countCacheHitLocked(req)
 	co.finishLocked(t, res, nil)
 	return CompleteMerged, nil
+}
+
+// countCacheHitLocked counts a completion the worker answered from its
+// checkpoint store instead of executing. Only accepted completions
+// (merged or duplicate) reach it — a rejected payload's Cached flag is
+// worthless, cached or not.
+func (co *Coordinator) countCacheHitLocked(req api.CompleteRequest) {
+	if req.Cached {
+		co.met.cacheHit.Inc()
+	}
 }
 
 // decodeCanonical decodes a completion payload through the exact result
 // codec and insists the decoded form re-encodes to the identical bytes —
 // a payload that survives is indistinguishable from a local checkpoint.
+// The comparison is byte-exact: the canonical wire form is the
+// core.EncodeResult document without its trailing newline (the form
+// api.EncodeCellResult produces), and any padding — whitespace included —
+// is a rejection, because the journal-replay duplicate path depends on
+// "merged" meaning exactly one byte sequence per fingerprint.
 func decodeCanonical(payload []byte) (*core.Result, error) {
 	res, err := core.DecodeResult(bytes.NewReader(payload))
 	if err != nil {
@@ -349,7 +389,8 @@ func decodeCanonical(payload []byte) (*core.Result, error) {
 	if err := core.EncodeResult(&round, res); err != nil {
 		return nil, err
 	}
-	if !bytes.Equal(bytes.TrimSpace(round.Bytes()), bytes.TrimSpace(payload)) {
+	canon := bytes.TrimSuffix(round.Bytes(), []byte("\n"))
+	if !bytes.Equal(canon, payload) {
 		return nil, errors.New("payload is not the canonical result encoding")
 	}
 	return res, nil
@@ -377,6 +418,11 @@ func (co *Coordinator) finishLocked(t *cellTask, res *core.Result, err error) {
 	t.state = taskDone
 	t.res, t.err = res, err
 	co.merged[t.lease.Fingerprint] = struct{}{}
+	// Durably remember the terminal outcome before waiters see it: a
+	// straggler delivering this cell to the next coordinator incarnation
+	// must be answered CompleteDuplicate, not CompleteUnknown. The fsync
+	// per cell is noise against a multi-second simulated cell.
+	co.opts.Journal.Merged(t.lease.Fingerprint)
 	close(t.done)
 	if t.refs == 0 {
 		delete(co.tasks, t.lease.Fingerprint)

@@ -125,14 +125,14 @@ func TestCoordinatorReclaimsSilentWorker(t *testing.T) {
 	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
 
 	// The doomed worker takes the lease and goes dark.
-	dead := co.Register("dead")
+	dead, _ := co.Register("dead")
 	resp, ok := co.Lease(dead.WorkerID, 4)
 	if !ok || len(resp.Leases) != 1 {
 		t.Fatalf("lease to dead worker: ok=%v leases=%d", ok, len(resp.Leases))
 	}
 
 	// A healthy worker keeps beating across the silence window.
-	live := co.Register("live")
+	live, _ := co.Register("live")
 	for i := 0; i < 3; i++ {
 		clock.Advance(4 * time.Second)
 		if !co.Heartbeat(live.WorkerID) {
@@ -193,7 +193,7 @@ func TestCoordinatorRejectsCorruptPayloads(t *testing.T) {
 
 	out := startCell(context.Background(), co, 9, "nt4/business/corrupt/0", cellConfig(2*time.Millisecond))
 	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
-	w := co.Register("saboteur")
+	w, _ := co.Register("saboteur")
 
 	takeLease := func() api.Lease {
 		t.Helper()
@@ -272,7 +272,7 @@ func TestCoordinatorDuplicateCompletionIsNoOp(t *testing.T) {
 
 	out := startCell(context.Background(), co, 3, "nt4/business/dup/0", cellConfig(time.Millisecond))
 	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
-	w := co.Register("")
+	w, _ := co.Register("")
 	resp, _ := co.Lease(w.WorkerID, 1)
 	l := resp.Leases[0]
 	payload := fakePayload(t, l)
@@ -310,13 +310,13 @@ func TestCoordinatorStragglerFromExpiredWorkerMerges(t *testing.T) {
 	out := startCell(context.Background(), co, 13, "nt4/business/straggler/0", cellConfig(time.Millisecond))
 	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
 
-	slow := co.Register("slow")
+	slow, _ := co.Register("slow")
 	resp, _ := co.Lease(slow.WorkerID, 1)
 	l := resp.Leases[0]
 
 	clock.Advance(6 * time.Second)
 	co.Reclaim()
-	second := co.Register("second")
+	second, _ := co.Register("second")
 	resp2, _ := co.Lease(second.WorkerID, 1)
 	if len(resp2.Leases) != 1 || resp2.Leases[0].Fingerprint != l.Fingerprint {
 		t.Fatalf("re-dispatch after expiry: %+v", resp2)
@@ -365,7 +365,7 @@ func TestCoordinatorStragglerCompletesBeforeRedispatch(t *testing.T) {
 
 			out := startCell(context.Background(), co, 17, "nt4/business/early-straggler/0", cellConfig(time.Millisecond))
 			waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
-			slow := co.Register("slow")
+			slow, _ := co.Register("slow")
 			resp, _ := co.Lease(slow.WorkerID, 1)
 			l := resp.Leases[0]
 
@@ -389,7 +389,7 @@ func TestCoordinatorStragglerCompletesBeforeRedispatch(t *testing.T) {
 
 			// No ghost grant: a fresh worker asking for work gets nothing,
 			// and the queue/lease gauges are back to zero.
-			late := co.Register("late")
+			late, _ := co.Register("late")
 			if resp, ok := co.Lease(late.WorkerID, 4); !ok || len(resp.Leases) != 0 {
 				t.Fatalf("lease after merged straggler: ok=%v grants=%d, want empty", ok, len(resp.Leases))
 			}
@@ -415,7 +415,7 @@ func TestCoordinatorCorruptStragglerDoesNotDoubleQueue(t *testing.T) {
 
 	out := startCell(context.Background(), co, 19, "nt4/business/corrupt-straggler/0", cellConfig(time.Millisecond))
 	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
-	slow := co.Register("slow")
+	slow, _ := co.Register("slow")
 	resp, _ := co.Lease(slow.WorkerID, 1)
 	l := resp.Leases[0]
 
@@ -434,12 +434,12 @@ func TestCoordinatorCorruptStragglerDoesNotDoubleQueue(t *testing.T) {
 	}
 
 	// Exactly one copy of the cell is grantable.
-	first := co.Register("first")
+	first, _ := co.Register("first")
 	grant, _ := co.Lease(first.WorkerID, 4)
 	if len(grant.Leases) != 1 {
 		t.Fatalf("re-dispatch grant: %d leases, want 1", len(grant.Leases))
 	}
-	second := co.Register("second")
+	second, _ := co.Register("second")
 	if resp, _ := co.Lease(second.WorkerID, 4); len(resp.Leases) != 0 {
 		t.Fatalf("cell leased twice: second worker got %d leases", len(resp.Leases))
 	}
@@ -467,7 +467,7 @@ func TestCoordinatorWorkerErrorFailsCellDeterministically(t *testing.T) {
 
 	out := startCell(context.Background(), co, 5, "nt4/business/panic/0", cellConfig(time.Millisecond))
 	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
-	w := co.Register("")
+	w, _ := co.Register("")
 	resp, _ := co.Lease(w.WorkerID, 1)
 	l := resp.Leases[0]
 
@@ -500,7 +500,7 @@ func TestCoordinatorDrainWithLeasesOutstanding(t *testing.T) {
 	leased := startCell(context.Background(), co, 21, "nt4/business/drain/0", cellConfig(time.Millisecond))
 	queued := startCell(context.Background(), co, 21, "nt4/business/drain/1", cellConfig(2*time.Millisecond))
 	waitFor(t, "cells enqueued", func() bool { return co.Status().Pending == 2 })
-	w := co.Register("holder")
+	w, _ := co.Register("holder")
 	resp, _ := co.Lease(w.WorkerID, 1)
 	if len(resp.Leases) != 1 {
 		t.Fatalf("lease grant: %d", len(resp.Leases))
@@ -554,7 +554,7 @@ func TestCoordinatorCancelledWaiterRetractsCell(t *testing.T) {
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	out2 := startCell(ctx2, co, 31, "nt4/business/retract/1", cellConfig(time.Millisecond))
 	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
-	w := co.Register("")
+	w, _ := co.Register("")
 	resp, _ := co.Lease(w.WorkerID, 1)
 	l := resp.Leases[0]
 	cancel2()
@@ -579,7 +579,7 @@ func TestCoordinatorDeduplicatesIdenticalCells(t *testing.T) {
 	b := startCell(context.Background(), co, 55, "nt4/business/shared/0", cfg)
 	waitFor(t, "deduped enqueue", func() bool { return co.Status().Pending == 1 })
 
-	w := co.Register("")
+	w, _ := co.Register("")
 	resp, _ := co.Lease(w.WorkerID, 8)
 	if len(resp.Leases) != 1 {
 		t.Fatalf("identical cells produced %d leases, want 1", len(resp.Leases))
@@ -597,5 +597,117 @@ func TestCoordinatorDeduplicatesIdenticalCells(t *testing.T) {
 	}
 	if got := counter(reg, MetricFleetLeasesGranted); got != 1 {
 		t.Errorf("%s = %d, want 1", MetricFleetLeasesGranted, got)
+	}
+}
+
+// TestCoordinatorRefusesRegistrationWhileDraining: after Close the
+// janitor is gone, so an admitted worker could never be expired — a
+// late registration must be turned away (the server answers it 503),
+// not silently leaked into the worker table.
+func TestCoordinatorRefusesRegistrationWhileDraining(t *testing.T) {
+	reg := metrics.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Second, Metrics: reg})
+	co.Close()
+
+	if resp, ok := co.Register("latecomer"); ok {
+		t.Fatalf("drained coordinator admitted worker %q", resp.WorkerID)
+	}
+	if got := reg.Gauge(MetricFleetWorkersActive).Value(); got != 0 {
+		t.Fatalf("%s = %d after refused registration, want 0", MetricFleetWorkersActive, got)
+	}
+	if workers := co.Status().Workers; len(workers) != 0 {
+		t.Fatalf("drained coordinator lists workers: %+v", workers)
+	}
+}
+
+// TestCoordinatorRejectsPaddedPayload: canonical-form validation is exact.
+// A payload that differs from the canonical encoding only by surrounding
+// whitespace would decode to the same result, but merging it would break
+// byte-identity of the campaign stream — it must be rejected, and the
+// untouched canonical payload must still merge afterwards.
+func TestCoordinatorRejectsPaddedPayload(t *testing.T) {
+	reg := metrics.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Minute, Metrics: reg})
+	defer co.Close()
+
+	out := startCell(context.Background(), co, 7, "nt4/business/padded/0", cellConfig(time.Millisecond))
+	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
+	w, _ := co.Register("strict")
+	resp, _ := co.Lease(w.WorkerID, 1)
+	if len(resp.Leases) != 1 {
+		t.Fatalf("leases = %d, want 1", len(resp.Leases))
+	}
+	l := resp.Leases[0]
+	good := fakePayload(t, l)
+
+	pad := func(prefix, suffix string) json.RawMessage {
+		p := append(json.RawMessage(prefix), good...)
+		return append(p, suffix...)
+	}
+	for name, payload := range map[string]json.RawMessage{
+		"trailing newline": pad("", "\n"),
+		"leading newline":  pad("\n", ""),
+		"trailing space":   pad("", " "),
+	} {
+		disp, err := co.Complete(w.WorkerID, api.CompleteRequest{Fingerprint: l.Fingerprint, Result: payload})
+		if disp != CompleteRejected {
+			t.Fatalf("%s: disposition %d (%v), want rejected", name, disp, err)
+		}
+	}
+	if got := counter(reg, MetricFleetCellsRejected); got != 3 {
+		t.Fatalf("%s = %d, want 3", MetricFleetCellsRejected, got)
+	}
+
+	// The exact canonical bytes still merge and release the waiter.
+	resp, _ = co.Lease(w.WorkerID, 1)
+	if len(resp.Leases) != 1 || resp.Leases[0].Fingerprint != l.Fingerprint {
+		t.Fatalf("re-lease after rejections = %+v", resp.Leases)
+	}
+	if disp, err := co.Complete(w.WorkerID, api.CompleteRequest{Fingerprint: l.Fingerprint, Result: good}); disp != CompleteMerged {
+		t.Fatalf("canonical completion = %v (%v), want merged", disp, err)
+	}
+	if o := <-out; o.err != nil {
+		t.Fatalf("waiter: %v", o.err)
+	}
+}
+
+// TestCoordinatorCountsCacheHitCompletions: the Cached flag on accepted
+// completions — merges and duplicates alike — feeds fleet_cells_cache_hit;
+// a rejected payload's flag counts for nothing.
+func TestCoordinatorCountsCacheHitCompletions(t *testing.T) {
+	reg := metrics.NewRegistry()
+	co := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Minute, Metrics: reg})
+	defer co.Close()
+
+	out := startCell(context.Background(), co, 7, "nt4/business/cachehit/0", cellConfig(time.Millisecond))
+	waitFor(t, "cell enqueued", func() bool { return co.Status().Pending == 1 })
+	w, _ := co.Register("cached")
+	resp, _ := co.Lease(w.WorkerID, 1)
+	l := resp.Leases[0]
+
+	// A rejected cached payload must not count.
+	bad := append(append(json.RawMessage(nil), fakePayload(t, l)...), '\n')
+	if disp, _ := co.Complete(w.WorkerID, api.CompleteRequest{Fingerprint: l.Fingerprint, Result: bad, Cached: true}); disp != CompleteRejected {
+		t.Fatalf("padded payload disposition %d, want rejected", disp)
+	}
+	if got := counter(reg, MetricFleetCellsCacheHit); got != 0 {
+		t.Fatalf("%s = %d after rejection, want 0", MetricFleetCellsCacheHit, got)
+	}
+
+	resp, _ = co.Lease(w.WorkerID, 1)
+	l = resp.Leases[0]
+	if disp, err := co.Complete(w.WorkerID, api.CompleteRequest{Fingerprint: l.Fingerprint, Result: fakePayload(t, l), Cached: true}); disp != CompleteMerged {
+		t.Fatalf("cached merge = %v (%v)", disp, err)
+	}
+	if o := <-out; o.err != nil {
+		t.Fatalf("waiter: %v", o.err)
+	}
+	// The straggler's retry of the same cached cell is a duplicate — and
+	// still a cache hit.
+	if disp, _ := co.Complete(w.WorkerID, api.CompleteRequest{Fingerprint: l.Fingerprint, Result: fakePayload(t, l), Cached: true}); disp != CompleteDuplicate {
+		t.Fatal("retried completion not a duplicate")
+	}
+	if got := counter(reg, MetricFleetCellsCacheHit); got != 2 {
+		t.Fatalf("%s = %d, want 2 (merge + duplicate)", MetricFleetCellsCacheHit, got)
 	}
 }

@@ -1,0 +1,280 @@
+package server
+
+// The durable half of the coordinator: an append-only NDJSON journal of
+// everything a restart must not forget. Three record kinds cover it:
+//
+//	{"op":"campaign","id":...,"spec":{...}}  a campaign was admitted
+//	{"op":"state","id":...,"state":"done"}   it reached a terminal state
+//	{"op":"merged","fp":"..."}               the coordinator merged a cell
+//
+// A campaign with no terminal-state record is live: on restart the server
+// re-admits it from the journaled spec and the task table rebuilds itself
+// as the resumed job's cells flow back through ExecuteRemote — cells whose
+// results already reached the checkpoint store replay from disk, the rest
+// re-dispatch to workers. Merged fingerprints seed the coordinator's
+// duplicate set, so a straggler completion that crossed the crash boundary
+// is answered CompleteDuplicate (idempotent no-op) instead of
+// CompleteUnknown, and byte-identity is preserved: the journal only ever
+// changes whether a cell re-executes, never what its bytes are.
+//
+// Open replays the file, tolerating a truncated final record (the crash
+// landed mid-append), then compacts: finished campaigns' records are
+// dropped and the live state is rewritten atomically before the file
+// reopens for appending. Appends are fsynced one record at a time — a
+// record covers an entire campaign admission or a multi-second simulated
+// cell, so durability here is nowhere near any hot path. Append failures
+// are counted (MetricJournalErrors), not fatal: a full disk degrades the
+// server to PR-6 semantics (restart loses state) instead of killing it.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"wdmlat/internal/api"
+	"wdmlat/internal/metrics"
+)
+
+// Journal metric names, published once Instrument is called.
+const (
+	MetricJournalErrors = "server_journal_errors" // append/sync failures (journal degraded, server alive)
+)
+
+const (
+	journalOpCampaign = "campaign"
+	journalOpState    = "state"
+	journalOpMerged   = "merged"
+)
+
+type journalRecord struct {
+	Op    string            `json:"op"`
+	ID    string            `json:"id,omitempty"`
+	State string            `json:"state,omitempty"`
+	Spec  *api.CampaignSpec `json:"spec,omitempty"`
+	FP    string            `json:"fp,omitempty"`
+}
+
+// JournalCampaign is one live (admitted, not yet terminal) campaign as
+// replayed from the journal.
+type JournalCampaign struct {
+	ID   string
+	Spec api.CampaignSpec
+}
+
+// JournalState is what a journal remembers across a restart.
+type JournalState struct {
+	// Campaigns lists live campaigns in admission order.
+	Campaigns []JournalCampaign
+	// Merged lists every fingerprint that reached a terminal outcome in a
+	// prior incarnation, for the coordinator's duplicate set.
+	Merged []string
+}
+
+// Journal is the append-only durable record of server/coordinator state.
+// All methods are safe for concurrent use and nil-receiver safe (a nil
+// *Journal journals nothing), mirroring the metrics registry contract.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	state JournalState
+	errs  *metrics.Counter
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays its
+// records into State, compacts it, and leaves it open for appending. A
+// truncated or garbled tail — the signature of a crash mid-append — ends
+// the replay silently; everything before it is kept.
+func OpenJournal(path string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	state, err := replayJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := compactJournal(path, state); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f, state: state}, nil
+}
+
+// replayJournal folds a journal file into the state a restart needs:
+// admitted campaigns minus those with terminal-state records, plus the
+// merged-fingerprint set.
+func replayJournal(path string) (JournalState, error) {
+	var state JournalState
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return state, nil
+	}
+	if err != nil {
+		return state, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	var campaigns []JournalCampaign
+	terminal := map[string]struct{}{}
+	mergedSeen := map[string]struct{}{}
+	dec := json.NewDecoder(f)
+	for {
+		var rec journalRecord
+		if err := dec.Decode(&rec); err != nil {
+			// io.EOF is a clean end; anything else is the torn tail of an
+			// append the crash interrupted. Records are self-contained and
+			// appended in causal order, so dropping the tail only forgets
+			// the newest events — a resumed campaign re-executes a little
+			// more, bytes unchanged.
+			break
+		}
+		switch rec.Op {
+		case journalOpCampaign:
+			if rec.ID == "" || rec.Spec == nil || rec.Spec.Validate() != nil {
+				continue
+			}
+			campaigns = append(campaigns, JournalCampaign{ID: rec.ID, Spec: *rec.Spec})
+		case journalOpState:
+			if api.TerminalState(rec.State) {
+				terminal[rec.ID] = struct{}{}
+			}
+		case journalOpMerged:
+			if rec.FP == "" {
+				continue
+			}
+			if _, dup := mergedSeen[rec.FP]; dup {
+				continue
+			}
+			mergedSeen[rec.FP] = struct{}{}
+			state.Merged = append(state.Merged, rec.FP)
+		}
+	}
+	seen := map[string]struct{}{}
+	for _, c := range campaigns {
+		if _, done := terminal[c.ID]; done {
+			continue
+		}
+		if _, dup := seen[c.ID]; dup {
+			continue
+		}
+		seen[c.ID] = struct{}{}
+		state.Campaigns = append(state.Campaigns, c)
+	}
+	return state, nil
+}
+
+// compactJournal atomically rewrites the journal to exactly the live
+// state: one campaign record per unfinished campaign, one merged record
+// per remembered fingerprint. Terminal-state records disappear together
+// with the campaigns they closed.
+func compactJournal(path string, state JournalState) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	enc := json.NewEncoder(tmp)
+	write := func(rec journalRecord) error { return enc.Encode(rec) }
+	for _, c := range state.Campaigns {
+		spec := c.Spec
+		if err := write(journalRecord{Op: journalOpCampaign, ID: c.ID, Spec: &spec}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compacting: %w", err)
+		}
+	}
+	for _, fp := range state.Merged {
+		if err := write(journalRecord{Op: journalOpMerged, FP: fp}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compacting: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// State returns what the journal replayed at open time. The caller owns
+// the returned slices.
+func (j *Journal) State() JournalState {
+	if j == nil {
+		return JournalState{}
+	}
+	return JournalState{
+		Campaigns: append([]JournalCampaign(nil), j.state.Campaigns...),
+		Merged:    append([]string(nil), j.state.Merged...),
+	}
+}
+
+// Instrument attaches the journal's error counter to reg.
+func (j *Journal) Instrument(reg *metrics.Registry) {
+	if j == nil {
+		return
+	}
+	j.errs = reg.Counter(MetricJournalErrors)
+}
+
+// Campaign records an admitted campaign.
+func (j *Journal) Campaign(id string, spec *api.CampaignSpec) {
+	j.append(journalRecord{Op: journalOpCampaign, ID: id, Spec: spec})
+}
+
+// Finished records a campaign's terminal state. Non-terminal states are
+// ignored: only done/failed/cancelled close a campaign's journal entry.
+func (j *Journal) Finished(id, state string) {
+	if !api.TerminalState(state) {
+		return
+	}
+	j.append(journalRecord{Op: journalOpState, ID: id, State: state})
+}
+
+// Merged records a fingerprint the coordinator published a terminal
+// outcome for.
+func (j *Journal) Merged(fp string) {
+	j.append(journalRecord{Op: journalOpMerged, FP: fp})
+}
+
+func (j *Journal) append(rec journalRecord) {
+	if j == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.errs.Inc()
+		return
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		j.errs.Inc()
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.errs.Inc()
+	}
+}
+
+// Close closes the journal file. Appends after Close count as errors.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,427 @@
+package server
+
+// Durability suite for the admission journal: replay/compaction unit
+// tests, crash-boundary coordinator behavior (pre-restart straggler
+// completions land as duplicates), and the headline restart property —
+// a server killed mid-campaign re-admits the journaled campaign and
+// serves bytes identical to an uninterrupted run, replaying finished
+// cells from the checkpoint store instead of re-executing them.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wdmlat/internal/api"
+	"wdmlat/internal/campaign"
+	"wdmlat/internal/campaign/store"
+	"wdmlat/internal/client"
+	"wdmlat/internal/core"
+	"wdmlat/internal/metrics"
+	"wdmlat/internal/ospersona"
+	"wdmlat/internal/workload"
+)
+
+// journalSpec builds a minimal valid campaign spec whose cell keys embed
+// name, so distinct specs get distinct content addresses.
+func journalSpec(name string, cells int) *api.CampaignSpec {
+	cfg := core.RunConfig{OS: ospersona.NT4, Workload: workload.Business, Duration: 150 * time.Millisecond}
+	spec := &api.CampaignSpec{BaseSeed: 29}
+	for i := 0; i < cells; i++ {
+		spec.Cells = append(spec.Cells, api.CellSpec{
+			Key:    fmt.Sprintf("nt4/business/%s/%d", name, i),
+			Config: cfg,
+		})
+	}
+	return spec
+}
+
+func openJournal(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("opening journal: %v", err)
+	}
+	return j
+}
+
+// TestJournalReplayAndCompaction: finished campaigns and duplicate merges
+// disappear across a reopen; live campaigns and the merged set survive,
+// and the reopened file holds exactly the live records.
+func TestJournalReplayAndCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	specA, specB := journalSpec("a", 1), journalSpec("b", 1)
+	idA, idB := api.CampaignID(specA), api.CampaignID(specB)
+
+	j1 := openJournal(t, path)
+	j1.Campaign(idA, specA)
+	j1.Campaign(idB, specB)
+	j1.Merged("fp1")
+	j1.Merged("fp2")
+	j1.Merged("fp1") // duplicate: must not appear twice after replay
+	j1.Finished(idA, api.StateDone)
+	j1.Finished(idB, api.StateRunning) // non-terminal: must not close B
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openJournal(t, path)
+	st := j2.State()
+	if len(st.Campaigns) != 1 || st.Campaigns[0].ID != idB {
+		t.Fatalf("live campaigns = %+v, want exactly %s", st.Campaigns, idB)
+	}
+	if got, want := st.Merged, []string{"fp1", "fp2"}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("merged = %v, want %v", st.Merged, want)
+	}
+	// Compaction rewrote the file to the live records only: one campaign,
+	// two merged fingerprints.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 3 {
+		t.Fatalf("compacted journal has %d records, want 3:\n%s", lines, data)
+	}
+
+	// The compacted journal is still appendable: closing B empties it.
+	j2.Finished(idB, api.StateCancelled)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3 := openJournal(t, path)
+	defer j3.Close()
+	if st := j3.State(); len(st.Campaigns) != 0 || len(st.Merged) != 2 {
+		t.Fatalf("after closing all campaigns: %+v", st)
+	}
+}
+
+// TestJournalToleratesTruncatedTail: a crash mid-append leaves a torn
+// final record; replay keeps everything before it and the journal stays
+// usable.
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	spec := journalSpec("torn", 1)
+	id := api.CampaignID(spec)
+
+	j1 := openJournal(t, path)
+	j1.Campaign(id, spec)
+	j1.Merged("fp1")
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"merged","fp":"fp-lost-to-the-cra`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openJournal(t, path)
+	st := j2.State()
+	if len(st.Campaigns) != 1 || st.Campaigns[0].ID != id {
+		t.Fatalf("campaigns after torn tail = %+v", st.Campaigns)
+	}
+	if len(st.Merged) != 1 || st.Merged[0] != "fp1" {
+		t.Fatalf("merged after torn tail = %v", st.Merged)
+	}
+	// Appends after recovery land cleanly.
+	j2.Merged("fp2")
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3 := openJournal(t, path)
+	defer j3.Close()
+	if st := j3.State(); len(st.Merged) != 2 {
+		t.Fatalf("merged after recovery append = %v", st.Merged)
+	}
+}
+
+// TestJournalNilReceiverIsSafe: the disabled journal (nil *Journal, as a
+// cacheless server runs with) is a no-op on every method.
+func TestJournalNilReceiverIsSafe(t *testing.T) {
+	var j *Journal
+	j.Campaign("id", journalSpec("nil", 1))
+	j.Finished("id", api.StateDone)
+	j.Merged("fp")
+	j.Instrument(metrics.NewRegistry())
+	if st := j.State(); len(st.Campaigns) != 0 || len(st.Merged) != 0 {
+		t.Fatalf("nil journal state = %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatorSeededWithJournaledMerges crosses the crash boundary at
+// the coordinator: a cell merged before the crash is journaled; after a
+// restart the new coordinator, seeded from the replayed journal, answers
+// the straggler's retried completion as an idempotent duplicate — and
+// counts its cache-hit flag — instead of 410ing a result it already owns.
+func TestCoordinatorSeededWithJournaledMerges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j1 := openJournal(t, path)
+	reg1 := metrics.NewRegistry()
+	co1 := NewCoordinator(CoordinatorOptions{LeaseTTL: 10 * time.Second, Metrics: reg1, Journal: j1})
+
+	out := startCell(context.Background(), co1, 7, "nt4/business/restart/0", cellConfig(time.Millisecond))
+	waitFor(t, "cell enqueued", func() bool { return co1.Status().Pending == 1 })
+	w, _ := co1.Register("first-life")
+	resp, ok := co1.Lease(w.WorkerID, 1)
+	if !ok || len(resp.Leases) != 1 {
+		t.Fatalf("lease: ok=%v leases=%d", ok, len(resp.Leases))
+	}
+	l := resp.Leases[0]
+	if disp, err := co1.Complete(w.WorkerID, api.CompleteRequest{Fingerprint: l.Fingerprint, Result: fakePayload(t, l)}); disp != CompleteMerged {
+		t.Fatalf("complete = %v (%v), want merged", disp, err)
+	}
+	if o := <-out; o.err != nil {
+		t.Fatalf("waiter: %v", o.err)
+	}
+	co1.Close()
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": replay the journal, seed a fresh coordinator with it.
+	j2 := openJournal(t, path)
+	defer j2.Close()
+	st := j2.State()
+	if len(st.Merged) != 1 || st.Merged[0] != l.Fingerprint {
+		t.Fatalf("journaled merges = %v, want [%s]", st.Merged, l.Fingerprint)
+	}
+	reg2 := metrics.NewRegistry()
+	co2 := NewCoordinator(CoordinatorOptions{LeaseTTL: 10 * time.Second, Metrics: reg2, Journal: j2, Merged: st.Merged})
+	defer co2.Close()
+
+	// The straggler redelivers from its checkpoint cache (Cached set).
+	disp, err := co2.Complete("w-from-before-the-crash", api.CompleteRequest{
+		Fingerprint: l.Fingerprint, Result: fakePayload(t, l), Cached: true,
+	})
+	if disp != CompleteDuplicate || err != nil {
+		t.Fatalf("straggler completion = %v (%v), want duplicate", disp, err)
+	}
+	if got := counter(reg2, MetricFleetDuplicateDone); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricFleetDuplicateDone, got)
+	}
+	if got := counter(reg2, MetricFleetCellsCacheHit); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricFleetCellsCacheHit, got)
+	}
+	// An unjournaled fingerprint is still unknown — seeding must not
+	// blanket-accept.
+	if disp, _ := co2.Complete("w", api.CompleteRequest{Fingerprint: strings.Repeat("ef", 32), Result: fakePayload(t, l)}); disp != CompleteUnknown {
+		t.Fatalf("unknown fingerprint = %v, want unknown", disp)
+	}
+}
+
+// resumeFakeResult is the pure cell executor shared by the "crashed"
+// server, the restarted server and the local reference run — identical
+// configs produce identical results, so byte-identity is checkable.
+func resumeFakeResult(cfg core.RunConfig) *core.Result {
+	return &core.Result{Config: cfg, OSName: "resume-fake", Samples: cfg.Seed%100_000 + 1}
+}
+
+// localResumeBytes runs spec through the campaign runner with the same
+// pure executor and returns the reference result stream.
+func localResumeBytes(t *testing.T, spec *api.CampaignSpec) []byte {
+	t.Helper()
+	run := campaign.New(campaign.Options{BaseSeed: spec.Seed(), Jobs: 1, Execute: resumeFakeResult})
+	cells := make([]campaign.Cell, len(spec.Cells))
+	for i, c := range spec.Cells {
+		cells[i] = campaign.Cell{Key: c.Key, Config: c.Config}
+	}
+	run.Submit(cells...)
+	var buf bytes.Buffer
+	for _, c := range spec.Cells {
+		res, err := run.Result(c.Key)
+		if err != nil {
+			t.Fatalf("local cell %q: %v", c.Key, err)
+		}
+		if err := core.EncodeResult(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestServerResumesJournaledCampaign is the tentpole restart property: a
+// server dies mid-campaign (simulated by abandoning it un-Closed, exactly
+// what SIGKILL leaves behind), and its successor — same cache directory,
+// same journal — re-admits the campaign on construction, replays the
+// finished cell from the checkpoint store, executes the rest, and serves
+// bytes identical to an uninterrupted local run.
+func TestServerResumesJournaledCampaign(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal")
+	spec := journalSpec("resume", 4)
+	id := api.CampaignID(spec)
+	want := localResumeBytes(t, spec)
+
+	// First incarnation: cell 0 completes and checkpoints, cell 1 blocks
+	// "forever" (until the crash), cells 2-3 never start (Jobs: 1).
+	release := make(chan struct{})
+	var calls atomic.Int32
+	blockingExec := func(cfg core.RunConfig) *core.Result {
+		if calls.Add(1) > 1 {
+			<-release
+		}
+		return resumeFakeResult(cfg)
+	}
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := openJournal(t, jpath)
+	reg1 := metrics.NewRegistry()
+	srv1 := New(Options{Jobs: 1, Store: st1, Metrics: reg1, Journal: j1, Execute: blockingExec})
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c1 := client.New(ts1.URL, client.Options{})
+	if _, err := c1.Submit(ctx, spec); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitFor(t, "first cell done, second executing", func() bool {
+		status, err := c1.Status(ctx, id)
+		return err == nil && status.Done >= 1 && calls.Load() >= 2
+	})
+
+	// "Crash": the listener goes away and the server is abandoned with its
+	// executor still wedged — never Closed, like a killed process. The
+	// cleanup below unblocks it only after the successor has finished, and
+	// its late journal appends land on the compacted-away old file inode.
+	ts1.Close()
+	t.Cleanup(func() {
+		close(release)
+		srv1.Close()
+		j1.Close()
+	})
+
+	j2 := openJournal(t, jpath)
+	defer j2.Close()
+	if st := j2.State(); len(st.Campaigns) != 1 || st.Campaigns[0].ID != id {
+		t.Fatalf("journal after crash = %+v, want live campaign %s", st.Campaigns, id)
+	}
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := metrics.NewRegistry()
+	st2.Instrument(reg2)
+	srv2 := New(Options{Jobs: 1, Store: st2, Metrics: reg2, Journal: j2, Execute: resumeFakeResult})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	// No re-submission: the resumed job must already exist to watch.
+	c2 := client.New(ts2.URL, client.Options{})
+	status, err := c2.Watch(ctx, id, nil)
+	if err != nil {
+		t.Fatalf("watching resumed campaign: %v", err)
+	}
+	if status.State != api.StateDone {
+		t.Fatalf("resumed campaign finished %s (%s), want done", status.State, status.Error)
+	}
+	got, err := c2.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted local run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	if got := counter(reg2, MetricResumed); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricResumed, got)
+	}
+	if got := counter(reg2, MetricSubmitted); got != 0 {
+		t.Errorf("%s = %d, want 0 (resume is not a submission)", MetricSubmitted, got)
+	}
+	// Cell 0 replayed from its pre-crash checkpoint; cells 1-3 executed.
+	if got := counter(reg2, campaign.MetricCheckpointHits); got != 1 {
+		t.Errorf("%s = %d, want 1", campaign.MetricCheckpointHits, got)
+	}
+	if got := counter(reg2, MetricCellsExec); got != 3 {
+		t.Errorf("%s = %d, want 3", MetricCellsExec, got)
+	}
+}
+
+// TestServerDoesNotResumeFinishedCampaigns: terminal outcomes — done and
+// user-cancelled — close their journal entries, so a restart re-admits
+// nothing. Only a shutdown/crash leaves entries open.
+func TestServerDoesNotResumeFinishedCampaigns(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal")
+	doneSpec := journalSpec("done", 1)
+	cancelSpec := journalSpec("cancel", 2)
+	// Marker duration: only cancelSpec's cells block, so the done campaign
+	// sails through while the cancel campaign wedges mid-flight.
+	blockDur := 151 * time.Millisecond
+	for i := range cancelSpec.Cells {
+		cancelSpec.Cells[i].Config.Duration = blockDur
+	}
+	release := make(chan struct{})
+	var blocked atomic.Int32
+	exec := func(cfg core.RunConfig) *core.Result {
+		if cfg.Duration == blockDur {
+			blocked.Add(1)
+			<-release
+		}
+		return resumeFakeResult(cfg)
+	}
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := openJournal(t, jpath)
+	srv := New(Options{Jobs: 1, Store: st, Metrics: metrics.NewRegistry(), Journal: j1, Execute: exec})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := client.New(ts.URL, client.Options{})
+	if status, err := c.Watch(ctx, mustSubmit(t, ctx, c, doneSpec), nil); err != nil || status.State != api.StateDone {
+		t.Fatalf("done campaign: %+v, %v", status, err)
+	}
+
+	cancelID := mustSubmit(t, ctx, c, cancelSpec)
+	waitFor(t, "cancel campaign wedged in its first cell", func() bool { return blocked.Load() >= 1 })
+	if _, err := c.Cancel(ctx, cancelID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	close(release) // the running cell drains; the queued one resolves cancelled
+	if status, err := c.Watch(ctx, cancelID, nil); err != nil || status.State != api.StateCancelled {
+		t.Fatalf("cancelled campaign: %+v, %v", status, err)
+	}
+
+	srv.Close()
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openJournal(t, jpath)
+	defer j2.Close()
+	if state := j2.State(); len(state.Campaigns) != 0 {
+		t.Fatalf("journal still holds %+v after both campaigns ended", state.Campaigns)
+	}
+}
+
+func mustSubmit(t *testing.T, ctx context.Context, c *client.Client, spec *api.CampaignSpec) string {
+	t.Helper()
+	status, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	return status.ID
+}

@@ -55,6 +55,7 @@ import (
 // verbatim by /metrics).
 const (
 	MetricSubmitted    = "server_campaigns_submitted" // new jobs admitted to the queue
+	MetricResumed      = "server_campaigns_resumed"   // journaled jobs re-admitted after a restart
 	MetricDeduped      = "server_campaigns_deduped"   // submissions that joined an existing job
 	MetricRejected     = "server_campaigns_rejected"  // submissions bounced with 429 (queue full)
 	MetricCompleted    = "server_campaigns_completed" // jobs finished in state done
@@ -102,10 +103,18 @@ type Options struct {
 	// fingerprint and merged in submission order — byte-identical to a
 	// local run at any fleet size, including across worker crashes.
 	Fleet *CoordinatorOptions
+	// Journal, if non-nil, makes admitted campaigns durable: every
+	// admission, terminal state and coordinator merge is appended, and
+	// New re-admits the journal's unfinished campaigns so a restart
+	// resumes them (cells already in Store replay from disk; the rest
+	// re-execute or re-dispatch) instead of failing their waiters. The
+	// journal's merged fingerprints also seed the coordinator, so
+	// pre-restart straggler completions land as duplicates.
+	Journal *Journal
 }
 
 type serverMetrics struct {
-	submitted, deduped, rejected          *metrics.Counter
+	submitted, resumed, deduped, rejected *metrics.Counter
 	completed, failed, cancelled, cellsEx *metrics.Counter
 	running, depth                        *metrics.Gauge
 	wall                                  *metrics.Histogram
@@ -204,10 +213,16 @@ func New(opts Options) *Server {
 		opts.RetryAfter = 2 * time.Second
 	}
 	reg := opts.Metrics
+	opts.Journal.Instrument(reg)
+	// The journal's unfinished campaigns are re-admitted below; the queue
+	// is sized to hold them all on top of the normal admission window, so
+	// resumption can never bounce a journaled campaign off a full queue.
+	jstate := opts.Journal.State()
 	s := &Server{
 		opts: opts,
 		met: serverMetrics{
 			submitted: reg.Counter(MetricSubmitted),
+			resumed:   reg.Counter(MetricResumed),
 			deduped:   reg.Counter(MetricDeduped),
 			rejected:  reg.Counter(MetricRejected),
 			completed: reg.Counter(MetricCompleted),
@@ -219,7 +234,7 @@ func New(opts Options) *Server {
 			wall:      reg.Histogram(MetricCampaignWall),
 		},
 		jobs:  map[string]*job{},
-		queue: make(chan *job, opts.QueueLimit),
+		queue: make(chan *job, opts.QueueLimit+len(jstate.Campaigns)),
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -235,6 +250,10 @@ func New(opts Options) *Server {
 		if co.Metrics == nil {
 			co.Metrics = opts.Metrics
 		}
+		if co.Journal == nil {
+			co.Journal = opts.Journal
+		}
+		co.Merged = append(append([]string(nil), co.Merged...), jstate.Merged...)
 		s.coord = NewCoordinator(co)
 		s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
 		s.mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
@@ -246,7 +265,50 @@ func New(opts Options) *Server {
 		s.executors.Add(1)
 		go s.executor()
 	}
+	s.resumeJournaled(jstate.Campaigns)
 	return s
+}
+
+// resumeJournaled re-admits the campaigns a previous incarnation journaled
+// but never finished, in their original admission order. A resumed job is
+// indistinguishable from a fresh submission downstream: cells already in
+// the checkpoint store replay from disk, the rest execute (or, in fleet
+// mode, re-dispatch to workers). The journal already holds these
+// campaigns' records, so nothing is re-appended here.
+func (s *Server) resumeJournaled(campaigns []JournalCampaign) {
+	for i := range campaigns {
+		spec := campaigns[i].Spec
+		id := api.CampaignID(&spec)
+		if id != campaigns[i].ID {
+			// The content address no longer matches the journaled one: the
+			// codec (and therefore every cell fingerprint) diverged across
+			// the restart, and the old campaign identity is meaningless.
+			// Skip it; a re-submission computes fresh results.
+			continue
+		}
+		s.mu.Lock()
+		if _, ok := s.jobs[id]; ok {
+			s.mu.Unlock()
+			continue
+		}
+		j := &job{id: id, spec: spec, state: api.StateQueued, changed: make(chan struct{})}
+		j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+		j.publishLocked(api.Event{Type: api.EventState, State: api.StateQueued})
+		s.met.depth.Inc()
+		select {
+		case s.queue <- j:
+			s.jobs[id] = j
+			s.mu.Unlock()
+			s.met.resumed.Inc()
+		default:
+			// Unreachable by construction (the queue is sized for every
+			// journaled campaign), kept so a future sizing bug degrades to
+			// a dropped resume instead of a deadlocked constructor.
+			s.mu.Unlock()
+			j.cancel()
+			s.met.depth.Dec()
+		}
+	}
 }
 
 // Handler returns the service's HTTP handler.
@@ -395,6 +457,14 @@ func (s *Server) finishJob(j *job, state string, result []byte, errMsg string) {
 	case api.StateCancelled:
 		s.met.cancelled.Inc()
 	}
+	// A terminal state reached because the server itself is shutting down
+	// — Close cancelled the job, or draining failed its cells — is not the
+	// campaign's outcome, it is the restart's starting point: leave the
+	// journal entry open so the next incarnation resumes the job. A
+	// user-requested DELETE (root context still alive) closes it for good.
+	if s.rootCtx.Err() == nil {
+		s.opts.Journal.Finished(j.id, state)
+	}
 }
 
 // --- HTTP handlers ---------------------------------------------------------
@@ -466,6 +536,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[id] = j
 	s.mu.Unlock()
 	s.met.submitted.Inc()
+	// Journal the admission outside the lock (appends fsync). A crash in
+	// the window between admission and append merely loses the campaign;
+	// the client's retried submit re-creates it under the same content
+	// address.
+	s.opts.Journal.Campaign(id, &spec)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
@@ -588,7 +663,15 @@ func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding registration: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.coord.Register(req.Name))
+	resp, ok := s.coord.Register(req.Name)
+	if !ok {
+		// Draining: the janitor is stopped, so an admitted worker would
+		// never be reclaimed. 503 is retryable — the worker's backoff
+		// lands on this coordinator's next incarnation.
+		writeError(w, http.StatusServiceUnavailable, "coordinator is draining; retry")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {

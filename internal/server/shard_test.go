@@ -93,7 +93,7 @@ func fleetBytes(t *testing.T, cells []campaign.Cell, baseSeed uint64, workers in
 		go func() {
 			defer wg.Done()
 			time.Sleep(startDelay)
-			w := co.Register("")
+			w, _ := co.Register("")
 			completed := 0
 			for {
 				resp, ok := co.Lease(w.WorkerID, 1)
