@@ -7,8 +7,10 @@
 GO ?= go
 
 # Bench comparison inputs for bench-compare (override on the command line).
-BASE ?= BENCH_1.json
-NEW  ?= BENCH_2.json
+# BASE is the committed current-round baseline; NEW defaults to a scratch
+# record so `make bench && make bench-compare` never dirties the baselines.
+BASE ?= BENCH_2.json
+NEW  ?= bench-new.json
 
 # Coverage floor (percent of statements) for the campaign runtime and the
 # metrics registry — the packages whose regressions CI must not let drift.
@@ -16,7 +18,7 @@ NEW  ?= BENCH_2.json
 # coverage grows, never lower it to make a failure go away.
 COVER_FLOOR ?= 85.0
 
-.PHONY: all check lint vet build test race substrate failure-paths service fleet-faults cover smoke resume-smoke serve-smoke horde-smoke bench bench-smoke bench-compare reproduce clean
+.PHONY: all check lint vet build test race substrate failure-paths service fleet-faults cover determinism smoke resume-smoke serve-smoke horde-smoke bench bench-smoke bench-compare reproduce clean
 
 all: check
 
@@ -28,6 +30,9 @@ check: lint build test race substrate failure-paths service fleet-faults
 lint:
 	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
 		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
+	@tracked=$$(git ls-files -- 'cover.out' '*.out' 'bench-new.json' 2>/dev/null || true); \
+	if [ -n "$$tracked" ]; then \
+		echo "generated coverage/bench artifacts are committed:"; echo "$$tracked"; exit 1; fi
 	$(GO) vet ./...
 
 vet:
@@ -86,11 +91,42 @@ fleet-faults:
 # end-to-end tests, which per-package profiles do not credit, so it stays
 # outside the floor's scope.)
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/campaign/... ./internal/metrics/... ./internal/server/... ./internal/api/...
+	$(GO) test -coverprofile=cover.out ./internal/campaign/... ./internal/metrics/... ./internal/server/... ./internal/api/... ./internal/stats/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# determinism: the byte-identity contract as a runnable gate — the encoded
+# result stream and every artifact must not depend on worker count or on
+# whether cells were executed or replayed from the checkpoint store, in
+# fixed-replica and adaptive (-precision) mode alike. On failure the
+# divergent encodings are left in results-determinism/ for the post-mortem
+# (the CI matrix uploads them as artifacts).
+determinism:
+	rm -rf results-determinism
+	mkdir -p results-determinism
+	$(GO) build -o results-determinism/reproduce ./cmd/reproduce
+	results-determinism/reproduce -duration 10s -jobs 1 -outdir results-determinism/j1 \
+		-encode results-determinism/j1.bin
+	results-determinism/reproduce -duration 10s -jobs 8 -outdir results-determinism/j8 \
+		-encode results-determinism/j8.bin
+	cmp results-determinism/j1.bin results-determinism/j8.bin
+	diff -r results-determinism/j1 results-determinism/j8
+	results-determinism/reproduce -duration 10s -jobs 8 -checkpoint results-determinism/ckpt \
+		-outdir results-determinism/cold -encode results-determinism/cold.bin
+	results-determinism/reproduce -duration 10s -jobs 3 -checkpoint results-determinism/ckpt \
+		-outdir results-determinism/warm -encode results-determinism/warm.bin
+	cmp results-determinism/j1.bin results-determinism/cold.bin
+	cmp results-determinism/cold.bin results-determinism/warm.bin
+	results-determinism/reproduce -duration 10s -jobs 1 -precision 0.2 -max-runs 12 \
+		-outdir results-determinism/adp1 -encode results-determinism/adp1.bin
+	results-determinism/reproduce -duration 10s -jobs 8 -precision 0.2 -max-runs 12 \
+		-outdir results-determinism/adp8 -encode results-determinism/adp8.bin
+	cmp results-determinism/adp1.bin results-determinism/adp8.bin
+	diff -r results-determinism/adp1 results-determinism/adp8
+	@echo "determinism: streams byte-identical across -jobs, warm store, and adaptive mode"
+	rm -rf results-determinism
 
 # smoke: a fast end-to-end pass of the full reproduction pipeline on the
 # parallel campaign runner, with the observability surface on: progress to
@@ -168,4 +204,4 @@ reproduce:
 	$(GO) run ./cmd/reproduce -duration 30m -runs 3
 
 clean:
-	rm -rf results-smoke results-resume-smoke results-serve-smoke results-horde-smoke cover.out latserved-cache latworkd-cache
+	rm -rf results-smoke results-resume-smoke results-serve-smoke results-horde-smoke results-determinism cover.out bench-new.json latserved-cache latworkd-cache

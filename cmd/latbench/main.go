@@ -30,6 +30,7 @@ import (
 	"wdmlat/internal/figures"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/report"
+	"wdmlat/internal/workload"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	oracle := flag.Bool("oracle", false, "plot ground-truth DPC-interrupt latency instead of the tool's estimate")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
+	precf := cli.AddPrecisionFlags(flag.CommandLine)
 	obs := cli.NewObs("latbench", flag.CommandLine)
 	cli.AddVersionFlag("latbench", flag.CommandLine)
 	flag.Parse()
@@ -59,6 +61,11 @@ func main() {
 	fatal(err)
 	classes, err := cli.ParseWorkloadList(*wlFlag)
 	fatal(err)
+	pol, err := precf.Policy()
+	fatal(err)
+	if pol != nil && *runs != 1 {
+		fatal(fmt.Errorf("-precision chooses replica counts adaptively; drop -runs"))
+	}
 
 	// Variant names the campaign cell keys so that e.g. the -scanner cells
 	// draw seed streams independent of the headline cells.
@@ -76,7 +83,13 @@ func main() {
 	run := campaign.New(campaign.Options{BaseSeed: *seed, Jobs: *jobs, Context: ctx, Store: st, Metrics: obs.Registry})
 	obs.StartProgress(run)
 	base := core.RunConfig{Duration: *duration, VirusScanner: *scanner, SoundScheme: *sound}
-	byOS, err := run.RunMatrix(oses, classes, variant, base, *runs)
+	var byOS map[ospersona.OS]map[workload.Class]*core.Result
+	var ads map[string]campaign.Adaptive
+	if pol != nil {
+		byOS, ads, err = run.RunMatrixAdaptive(oses, classes, variant, base, *pol)
+	} else {
+		byOS, err = run.RunMatrix(oses, classes, variant, base, *runs)
+	}
 	if err != nil {
 		cli.FailCampaign("latbench", run, obs, err)
 	}
@@ -104,6 +117,17 @@ func main() {
 				fmt.Printf("#   RT %d thread latency:   mean %.3f ms, max %.2f ms\n",
 					p, r.Thread[p].MeanMillis(), r.Freq.Millis(r.Thread[p].Max()))
 			}
+			if pol != nil {
+				p := pol.Normalized()
+				ad := ads[campaign.MatrixKey(osSel, wl, variant)]
+				fmt.Printf("#   adaptive: %d replicas, converged=%v\n", ad.Replicas, ad.Converged)
+				for _, q := range p.Quantiles {
+					lo, est, hi := r.DpcInt.QuantileCI(q, p.Confidence)
+					fmt.Printf("#   DPC p%g: %s ms at %.0f%% confidence\n", q*100,
+						report.CIMillis(r.Freq.Millis(est), r.Freq.Millis(lo), r.Freq.Millis(hi)),
+						p.Confidence*100)
+				}
+			}
 		}
 
 		dpcSeries, t28Series, t24Series := figures.Figure4Panels(results)
@@ -115,6 +139,19 @@ func main() {
 		}
 		osName := ospersona.ProfileFor(osSel).Name
 		if *csv {
+			// In adaptive mode the CSV carries DKW confidence-band columns,
+			// so external plots can shade each CCDF curve's uncertainty.
+			if pol != nil && !*oracle {
+				conf := pol.Normalized().Confidence
+				dpcB, t28B, t24B := figures.Figure4BandPanels(results, conf)
+				fmt.Printf("\n## %s DPC interrupt latency\n", osName)
+				fatal(report.WriteBandCSV(os.Stdout, dpcB))
+				fmt.Printf("\n## %s RT-28 thread latency\n", osName)
+				fatal(report.WriteBandCSV(os.Stdout, t28B))
+				fmt.Printf("\n## %s RT-24 thread latency\n", osName)
+				fatal(report.WriteBandCSV(os.Stdout, t24B))
+				continue
+			}
 			fmt.Printf("\n## %s DPC interrupt latency\n", osName)
 			fatal(report.WriteCSV(os.Stdout, dpcSeries))
 			fmt.Printf("\n## %s RT-28 thread latency\n", osName)

@@ -100,6 +100,7 @@ type matrixFlags struct {
 	runs     *int
 	seed     *uint64
 	variant  *string
+	prec     *cli.PrecisionFlags
 }
 
 func addMatrixFlags(fs *flag.FlagSet) matrixFlags {
@@ -110,6 +111,7 @@ func addMatrixFlags(fs *flag.FlagSet) matrixFlags {
 		runs:     fs.Int("runs", 1, "replicas per cell"),
 		seed:     fs.Uint64("seed", 3, "campaign base seed"),
 		variant:  fs.String("variant", "default", "campaign variant tag in cell keys"),
+		prec:     cli.AddPrecisionFlags(fs),
 	}
 }
 
@@ -122,7 +124,28 @@ func (m matrixFlags) spec() (*api.CampaignSpec, error) {
 	if err != nil {
 		return nil, err
 	}
+	pol, err := m.prec.Policy()
+	if err != nil {
+		return nil, err
+	}
 	base := core.RunConfig{Duration: *m.duration}
+	if pol != nil {
+		// Adaptive campaigns submit logical cells — the policy, not -runs,
+		// decides how many "<key>/<i>" replicas each one expands to.
+		if *m.runs != 1 {
+			return nil, fmt.Errorf("-precision chooses replica counts adaptively; drop -runs")
+		}
+		spec := &api.CampaignSpec{BaseSeed: *m.seed, Precision: pol}
+		for _, o := range oses {
+			for _, c := range classes {
+				cfg := base
+				cfg.OS = o
+				cfg.Workload = c
+				spec.Cells = append(spec.Cells, api.CellSpec{Key: campaign.MatrixKey(o, c, *m.variant), Config: cfg})
+			}
+		}
+		return spec, nil
+	}
 	cells := campaign.MatrixCells(oses, classes, *m.variant, base, *m.runs)
 	spec := &api.CampaignSpec{BaseSeed: *m.seed, Cells: make([]api.CellSpec, len(cells))}
 	for i, c := range cells {
@@ -282,11 +305,6 @@ func cmdLocal(args []string) error {
 		return err
 	}
 	run := campaign.New(campaign.Options{BaseSeed: spec.Seed(), Jobs: *jobs, Store: st})
-	cells := make([]campaign.Cell, len(spec.Cells))
-	for i, c := range spec.Cells {
-		cells[i] = campaign.Cell{Key: c.Key, Config: c.Config}
-	}
-	run.Submit(cells...)
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -296,6 +314,25 @@ func cmdLocal(args []string) error {
 		defer f.Close()
 		w = f
 	}
+	if spec.Precision != nil {
+		// Mirror the server's adaptive path: each logical cell runs its own
+		// replica loop and the stream carries one pooled document per cell.
+		for _, c := range spec.Cells {
+			res, _, err := run.MergedAdaptive(c.Key, c.Config, *spec.Precision)
+			if err != nil {
+				return err
+			}
+			if err := core.EncodeResult(w, res); err != nil {
+				return err
+			}
+		}
+		return run.Wait()
+	}
+	cells := make([]campaign.Cell, len(spec.Cells))
+	for i, c := range spec.Cells {
+		cells[i] = campaign.Cell{Key: c.Key, Config: c.Config}
+	}
+	run.Submit(cells...)
 	for _, c := range spec.Cells {
 		res, err := run.Result(c.Key)
 		if err != nil {

@@ -59,9 +59,17 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: persist finished cells and skip them on re-run")
 	encodeOut := flag.String("encode", "", "also write the default matrix's raw per-cell results (exact codec bytes, cell order) to this file — the stream latserved serves for the same campaign")
+	precf := cli.AddPrecisionFlags(flag.CommandLine)
 	obs := cli.NewObs("reproduce", flag.CommandLine)
 	cli.AddVersionFlag("reproduce", flag.CommandLine)
 	flag.Parse()
+	pol, err := precf.Policy()
+	if err != nil {
+		fail(err)
+	}
+	if pol != nil && *runs != 1 {
+		fail(fmt.Errorf("-precision chooses replica counts adaptively; drop -runs"))
+	}
 
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
 		fail(err)
@@ -85,16 +93,25 @@ func main() {
 	obs.StartProgress(run)
 	base := core.RunConfig{Duration: *duration}
 
-	step("campaign: %d cells x %d replicas on %d workers (%v virtual per cell)",
-		2*len(workload.Classes)+1, *runs, *jobs, *duration)
-	run.Submit(campaign.MatrixCells(oses, workload.Classes, "default", base, *runs)...)
-
 	scannerKey := campaign.MatrixKey(ospersona.Win98, workload.Business, "scanner")
 	scannerCfg := base
 	scannerCfg.OS = ospersona.Win98
 	scannerCfg.Workload = workload.Business
 	scannerCfg.VirusScanner = true
-	run.Submit(campaign.Replicas(scannerKey, scannerCfg, *runs)...)
+
+	// In fixed-replica mode every cell is submitted up front. With a
+	// -precision policy, the adaptive loops below own replica submission:
+	// each logical cell keeps adding replicas until its tail quantiles
+	// converge to the requested half-width (DESIGN.md §12).
+	if pol == nil {
+		step("campaign: %d cells x %d replicas on %d workers (%v virtual per cell)",
+			2*len(workload.Classes)+1, *runs, *jobs, *duration)
+		run.Submit(campaign.MatrixCells(oses, workload.Classes, "default", base, *runs)...)
+		run.Submit(campaign.Replicas(scannerKey, scannerCfg, *runs)...)
+	} else {
+		step("adaptive campaign: %d logical cells on %d workers (%v virtual per cell, rel half-width %g)",
+			2*len(workload.Classes)+1, *jobs, *duration, pol.RelWidth)
+	}
 
 	causeKey := campaign.MatrixKey(ospersona.Win98, workload.Business, "causetool")
 	run.Submit(campaign.Cell{Key: causeKey, Config: core.RunConfig{
@@ -142,14 +159,38 @@ func main() {
 	// pooled results — and every artifact below — are independent of worker
 	// count and completion order.
 	byOS := map[ospersona.OS]map[workload.Class]*core.Result{}
-	for _, osSel := range oses {
-		byOS[osSel] = map[workload.Class]*core.Result{}
-		for _, wl := range workload.Classes {
-			res, err := run.Merged(campaign.MatrixKey(osSel, wl, "default"), *runs)
-			if err != nil {
-				cli.FailCampaign("reproduce", run, obs, err)
+	var ads map[string]campaign.Adaptive
+	var scannerRes *core.Result
+	var scannerAd campaign.Adaptive
+	if pol != nil {
+		// The scanner cell's adaptive loop runs concurrently with the
+		// matrix; the runner's pool still bounds actual parallelism.
+		var scanWG sync.WaitGroup
+		var scanErr error
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			scannerRes, scannerAd, scanErr = run.MergedAdaptive(scannerKey, scannerCfg, *pol)
+		}()
+		m, a, err := run.RunMatrixAdaptive(oses, workload.Classes, "default", base, *pol)
+		if err != nil {
+			cli.FailCampaign("reproduce", run, obs, err)
+		}
+		byOS, ads = m, a
+		scanWG.Wait()
+		if scanErr != nil {
+			cli.FailCampaign("reproduce", run, obs, scanErr)
+		}
+	} else {
+		for _, osSel := range oses {
+			byOS[osSel] = map[workload.Class]*core.Result{}
+			for _, wl := range workload.Classes {
+				res, err := run.Merged(campaign.MatrixKey(osSel, wl, "default"), *runs)
+				if err != nil {
+					cli.FailCampaign("reproduce", run, obs, err)
+				}
+				byOS[osSel][wl] = res
 			}
-			byOS[osSel][wl] = res
 		}
 	}
 
@@ -158,6 +199,19 @@ func main() {
 	// service serves for this campaign, which serve-smoke diffs.
 	if *encodeOut != "" {
 		emit(filepath.Dir(*encodeOut), filepath.Base(*encodeOut), func(w io.Writer) error {
+			if pol != nil {
+				// Adaptive campaigns stream one pooled document per logical
+				// cell, matching what latserved serves for the same
+				// Precision-bearing spec.
+				for _, osSel := range oses {
+					for _, wl := range workload.Classes {
+						if err := core.EncodeResult(w, byOS[osSel][wl]); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
 			for _, cell := range campaign.MatrixCells(oses, workload.Classes, "default", base, *runs) {
 				res, err := run.Result(cell.Key)
 				if err != nil {
@@ -203,15 +257,50 @@ func main() {
 		})
 	}
 
-	// Table 3, both OSes.
+	// Table 3, both OSes. poolDesc keeps the fixed-mode titles byte-stable
+	// while letting adaptive runs say what actually pooled.
+	poolDesc := fmt.Sprintf("%v x %d per class", *duration, *runs)
+	if pol != nil {
+		poolDesc = fmt.Sprintf("%v x adaptive(w=%g) per class", *duration, pol.RelWidth)
+	}
 	emit(*outdir, "table3_win98.txt", func(w io.Writer) error {
 		return figures.Table3(byOS[ospersona.Win98],
-			fmt.Sprintf("Table 3: Observed Worst Case Windows 98 Latencies (ms), %v x %d per class", *duration, *runs)).Write(w)
+			fmt.Sprintf("Table 3: Observed Worst Case Windows 98 Latencies (ms), %s", poolDesc)).Write(w)
 	})
 	emit(*outdir, "table3_nt4.txt", func(w io.Writer) error {
 		return figures.Table3(byOS[ospersona.NT4],
-			fmt.Sprintf("Table 3 (NT side): Observed Worst Case NT 4.0 Latencies (ms), %v x %d per class", *duration, *runs)).Write(w)
+			fmt.Sprintf("Table 3 (NT side): Observed Worst Case NT 4.0 Latencies (ms), %s", poolDesc)).Write(w)
 	})
+
+	// Adaptive runs get a statistical appendix: the per-cell precision
+	// table and the confidence-band CSV form of the Figure 4 panels. Gated
+	// on -precision so the default artifact set stays byte-identical.
+	if pol != nil {
+		p := pol.Normalized()
+		step("precision summary")
+		emit(*outdir, "precision.txt", func(w io.Writer) error {
+			title := fmt.Sprintf("Adaptive precision summary: rel half-width %g at %.0f%% confidence",
+				p.RelWidth, p.Confidence*100)
+			if err := figures.PrecisionTable(oses, workload.Classes, "default", byOS, ads, p, title).Write(w); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\nscanner cell %s: %d replicas, converged=%v\n",
+				scannerKey, scannerAd.Replicas, scannerAd.Converged)
+			return nil
+		})
+		emit(*outdir, "precision.csv", func(w io.Writer) error {
+			for _, osSel := range oses {
+				dpc, t28, t24 := figures.Figure4BandPanels(byOS[osSel], p.Confidence)
+				for _, s := range [][]report.BandSeries{dpc, t28, t24} {
+					if err := report.WriteBandCSV(w, s); err != nil {
+						return err
+					}
+					fmt.Fprintln(w)
+				}
+			}
+			return nil
+		})
+	}
 
 	// Figures 6 and 7 from the Win98 distributions.
 	step("MTTF curves")
@@ -233,9 +322,13 @@ func main() {
 	// --- Figure 5: virus scanner --------------------------------------------
 	step("Figure 5 (virus scanner)")
 	emit(*outdir, "figure5_scanner.txt", func(w io.Writer) error {
-		dirty, err := run.Merged(scannerKey, *runs)
-		if err != nil {
-			return err
+		dirty := scannerRes
+		if pol == nil {
+			var err error
+			dirty, err = run.Merged(scannerKey, *runs)
+			if err != nil {
+				return err
+			}
 		}
 		clean := byOS[ospersona.Win98][workload.Business]
 		at := dirty.Freq.FromMillis(15)

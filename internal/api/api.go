@@ -21,6 +21,7 @@ import (
 	"wdmlat/internal/campaign/store"
 	"wdmlat/internal/core"
 	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
 )
 
 // CellSpec is one submitted measurement cell: the stable key its seed is
@@ -38,6 +39,16 @@ type CellSpec struct {
 type CampaignSpec struct {
 	BaseSeed uint64     `json:"base_seed"`
 	Cells    []CellSpec `json:"cells"`
+	// Precision, if set, turns every cell into a logical cell run under the
+	// adaptive-replica policy: replicas "<key>/0", "<key>/1", ... are added
+	// until the policy's tail quantiles converge (or its MaxRuns cap is
+	// hit), and the result stream carries one pooled document per logical
+	// cell. The policy is part of the campaign identity — CampaignID folds
+	// its canonical form in, so the same cells at a different precision are
+	// a different campaign — but not of the per-replica cache fingerprints,
+	// because a replica's result does not depend on the stopping rule that
+	// requested it (see DESIGN.md §12).
+	Precision *stats.Precision `json:"precision,omitempty"`
 }
 
 // Seed returns the effective base seed (the runner treats 0 as 1, so the
@@ -65,15 +76,23 @@ func (s *CampaignSpec) Validate() error {
 		}
 		seen[c.Key] = struct{}{}
 	}
+	if s.Precision != nil {
+		if err := s.Precision.Validate(); err != nil {
+			return fmt.Errorf("api: invalid precision policy: %w", err)
+		}
+	}
 	return nil
 }
 
 // CampaignID is the campaign's content address: SHA-256 over the ordered
 // per-cell store fingerprints (each of which already covers the codec
 // version, base seed, cell key and canonical config with the derived
-// seed). Identical campaigns — same seed, same cells, same order — hash
-// identical; reordering the cells changes the result stream and therefore
-// the ID.
+// seed), plus — for adaptive campaigns — the canonical form of the
+// precision policy, because precision changes the pooled result stream.
+// Identical campaigns — same seed, same cells, same order, same policy —
+// hash identical; reordering the cells changes the result stream and
+// therefore the ID. Fixed-replica campaigns (nil Precision) hash exactly
+// as before the policy existed, so published IDs stay stable.
 func CampaignID(s *CampaignSpec) string {
 	seed := s.Seed()
 	h := sha256.New()
@@ -82,6 +101,9 @@ func CampaignID(s *CampaignSpec) string {
 		cfg := c.Config
 		cfg.Seed = sim.DeriveSeed(seed, c.Key)
 		fmt.Fprintf(h, "%s\x00", store.Fingerprint(seed, c.Key, cfg))
+	}
+	if s.Precision != nil {
+		fmt.Fprintf(h, "precision\x00%s\x00", s.Precision.Canonical())
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

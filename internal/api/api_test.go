@@ -7,6 +7,7 @@ import (
 
 	"wdmlat/internal/core"
 	"wdmlat/internal/ospersona"
+	"wdmlat/internal/stats"
 	"wdmlat/internal/workload"
 )
 
@@ -58,6 +59,48 @@ func TestCampaignIDCoversContent(t *testing.T) {
 	s.Cells[0].Config.Seed = 999
 	if CampaignID(s) != base {
 		t.Error("a submitted cell Seed (which the runner ignores) changed the id")
+	}
+}
+
+// TestCampaignIDCoversPrecision: the precision policy is part of the
+// campaign identity — the same cells at a different precision are a
+// different result stream — while a nil policy hashes exactly as specs did
+// before the field existed, and equivalent policies (defaults spelled out
+// or elided) hash identically.
+func TestCampaignIDCoversPrecision(t *testing.T) {
+	base := CampaignID(spec())
+
+	s := spec()
+	s.Precision = &stats.Precision{RelWidth: 0.1}
+	precise := CampaignID(s)
+	if precise == base {
+		t.Error("attaching a precision policy did not change the id")
+	}
+
+	s = spec()
+	s.Precision = &stats.Precision{RelWidth: 0.1, Confidence: stats.DefaultConfidence,
+		MinRuns: stats.DefaultMinRuns, MaxRuns: stats.DefaultMaxRuns, Batch: stats.DefaultBatch,
+		Quantiles: stats.DefaultQuantiles()}
+	if CampaignID(s) != precise {
+		t.Error("spelled-out default policy hashed differently from the shorthand form")
+	}
+
+	s = spec()
+	s.Precision = &stats.Precision{RelWidth: 0.2}
+	if CampaignID(s) == precise {
+		t.Error("changing the policy's rel_width did not change the id")
+	}
+}
+
+func TestValidateRejectsBadPrecision(t *testing.T) {
+	s := spec()
+	s.Precision = &stats.Precision{RelWidth: 0.1}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid precision rejected: %v", err)
+	}
+	s.Precision = &stats.Precision{RelWidth: -1}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "precision") {
+		t.Errorf("invalid precision: got %v", err)
 	}
 }
 

@@ -159,6 +159,7 @@ type Options struct {
 type runnerMetrics struct {
 	started, completed, failed, cancelled, panics *metrics.Counter
 	ckptHit, ckptMiss, ckptCorrupt                *metrics.Counter
+	adaptive, converged, convFailed               *metrics.Counter
 	busy, depth                                   *metrics.Gauge
 	wall                                          *metrics.Histogram
 }
@@ -173,6 +174,9 @@ func newRunnerMetrics(reg *metrics.Registry) runnerMetrics {
 		ckptHit:     reg.Counter(MetricCheckpointHits),
 		ckptMiss:    reg.Counter(MetricCheckpointMisses),
 		ckptCorrupt: reg.Counter(MetricCheckpointCorrupt),
+		adaptive:    reg.Counter(MetricReplicasAdaptive),
+		converged:   reg.Counter(MetricCellsConverged),
+		convFailed:  reg.Counter(MetricConvergenceFailures),
 		busy:        reg.Gauge(MetricWorkersBusy),
 		depth:       reg.Gauge(MetricQueueDepth),
 		wall:        reg.Histogram(MetricCellWallTime),

@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"wdmlat/internal/stats"
+)
+
+// PrecisionFlags holds the adaptive-replica policy flags shared by the
+// measurement cmds: -precision selects the target relative half-width for
+// the policy's tail quantiles (0, the default, keeps the fixed -runs
+// replica count), -ci the confidence level of the DKW bands, and -max-runs
+// the hard replica cap per logical cell.
+type PrecisionFlags struct {
+	relWidth   *float64
+	confidence *float64
+	maxRuns    *int
+}
+
+// AddPrecisionFlags registers the policy flags on fs.
+func AddPrecisionFlags(fs *flag.FlagSet) *PrecisionFlags {
+	return &PrecisionFlags{
+		relWidth: fs.Float64("precision", 0,
+			"adaptive replicas: target relative half-width for tail quantiles (e.g. 0.1); 0 keeps fixed -runs"),
+		confidence: fs.Float64("ci", stats.DefaultConfidence,
+			"confidence level of the DKW bands the -precision stopping rule uses"),
+		maxRuns: fs.Int("max-runs", stats.DefaultMaxRuns,
+			"hard replica cap per logical cell in -precision mode"),
+	}
+}
+
+// Policy resolves the flags into an adaptive policy, or nil when -precision
+// was left at 0 (fixed-replica mode). Tuning flags without -precision are an
+// error — silently ignoring them would misreport what the campaign did.
+func (p *PrecisionFlags) Policy() (*stats.Precision, error) {
+	if *p.relWidth == 0 {
+		if *p.confidence != stats.DefaultConfidence {
+			return nil, fmt.Errorf("cli: -ci only applies with -precision")
+		}
+		if *p.maxRuns != stats.DefaultMaxRuns {
+			return nil, fmt.Errorf("cli: -max-runs only applies with -precision")
+		}
+		return nil, nil
+	}
+	prec := &stats.Precision{RelWidth: *p.relWidth, Confidence: *p.confidence, MaxRuns: *p.maxRuns}
+	if err := prec.Normalized().Validate(); err != nil {
+		return nil, err
+	}
+	return prec, nil
+}

@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"wdmlat/internal/stats"
+)
+
+func parsePrecision(t *testing.T, args ...string) (*PrecisionFlags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := AddPrecisionFlags(fs)
+	return p, fs.Parse(args)
+}
+
+func TestPrecisionFlagsOffByDefault(t *testing.T) {
+	p, err := parsePrecision(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := p.Policy()
+	if err != nil || pol != nil {
+		t.Fatalf("default flags: got policy %v, err %v; want nil, nil", pol, err)
+	}
+}
+
+func TestPrecisionFlagsBuildPolicy(t *testing.T) {
+	p, err := parsePrecision(t, "-precision", "0.1", "-ci", "0.99", "-max-runs", "32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := p.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := pol.Normalized()
+	if n.RelWidth != 0.1 || n.Confidence != 0.99 || n.MaxRuns != 32 {
+		t.Errorf("policy %+v, want w=0.1 c=0.99 max=32", n)
+	}
+	if len(n.Quantiles) == 0 || n.MinRuns != stats.DefaultMinRuns {
+		t.Errorf("defaults not filled: %+v", n)
+	}
+}
+
+func TestPrecisionFlagsRejectOrphanTuning(t *testing.T) {
+	for _, args := range [][]string{
+		{"-ci", "0.99"},
+		{"-max-runs", "8"},
+	} {
+		p, err := parsePrecision(t, args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Policy(); err == nil || !strings.Contains(err.Error(), "-precision") {
+			t.Errorf("%v without -precision: got %v, want error naming -precision", args, err)
+		}
+	}
+}
+
+func TestPrecisionFlagsRejectInvalidPolicy(t *testing.T) {
+	p, err := parsePrecision(t, "-precision", "1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Policy(); err == nil {
+		t.Error("rel width 1.5 accepted")
+	}
+}

@@ -7,6 +7,7 @@ package figures
 import (
 	"fmt"
 
+	"wdmlat/internal/campaign"
 	"wdmlat/internal/core"
 	"wdmlat/internal/mttf"
 	"wdmlat/internal/ospersona"
@@ -151,6 +152,67 @@ func Figure4Panels(results map[workload.Class]*core.Result) (dpc, t28, t24 []rep
 		t24 = append(t24, report.NewSeries(label, r.Thread[r.MediumPriority()], 0.125, 128))
 	}
 	return dpc, t28, t24
+}
+
+// Figure4BandPanels is Figure4Panels with the simultaneous DKW confidence
+// band attached to every series, for the band-CSV form of the figure.
+func Figure4BandPanels(results map[workload.Class]*core.Result, confidence float64) (dpc, t28, t24 []report.BandSeries) {
+	for _, wl := range workload.Classes {
+		r, ok := results[wl]
+		if !ok {
+			continue
+		}
+		label := wl.String()
+		dpc = append(dpc, report.NewBandSeries(label, r.DpcInt, 1, 128, confidence))
+		t28 = append(t28, report.NewBandSeries(label, r.Thread[r.HighPriority()], 0.125, 128, confidence))
+		t24 = append(t24, report.NewBandSeries(label, r.Thread[r.MediumPriority()], 0.125, 128, confidence))
+	}
+	return dpc, t28, t24
+}
+
+// PrecisionTable summarizes an adaptive campaign's statistical outcome: one
+// row per logical cell and watched distribution, with the replica count the
+// stopping rule settled on, the convergence verdict, and each policy
+// quantile's estimate with its DKW confidence interval in milliseconds.
+// prec is normalized internally, so a shorthand policy is fine.
+func PrecisionTable(oses []ospersona.OS, classes []workload.Class, variant string,
+	results map[ospersona.OS]map[workload.Class]*core.Result,
+	ads map[string]campaign.Adaptive, prec stats.Precision, title string) *report.Table {
+	p := prec.Normalized()
+	t := &report.Table{Title: title, Headers: []string{"Cell", "Distribution", "Replicas", "Converged"}}
+	for _, q := range p.Quantiles {
+		t.Headers = append(t.Headers, fmt.Sprintf("p%g ms [%.0f%% CI]", q*100, p.Confidence*100))
+	}
+	for _, o := range oses {
+		for _, c := range classes {
+			r, ok := results[o][c]
+			if !ok {
+				continue
+			}
+			key := campaign.MatrixKey(o, c, variant)
+			ad := ads[key]
+			dists := []struct {
+				name string
+				h    *stats.Histogram
+			}{
+				{"DPC interrupt", r.DpcInt},
+				{fmt.Sprintf("RT %d thread", r.HighPriority()), r.Thread[r.HighPriority()]},
+				{fmt.Sprintf("RT %d thread", r.MediumPriority()), r.Thread[r.MediumPriority()]},
+			}
+			for _, d := range dists {
+				if d.h == nil {
+					continue
+				}
+				row := []string{key, d.name, fmt.Sprintf("%d", ad.Replicas), fmt.Sprintf("%v", ad.Converged)}
+				for _, q := range p.Quantiles {
+					lo, est, hi := d.h.QuantileCI(q, p.Confidence)
+					row = append(row, report.CIMillis(r.Freq.Millis(est), r.Freq.Millis(lo), r.Freq.Millis(hi)))
+				}
+				t.AddRow(row...)
+			}
+		}
+	}
+	return t
 }
 
 // MTTFTable builds a Figure 6/7 table: one column per workload, one row per

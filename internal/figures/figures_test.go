@@ -6,9 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"wdmlat/internal/campaign"
 	"wdmlat/internal/core"
 	"wdmlat/internal/mttf"
 	"wdmlat/internal/ospersona"
+	"wdmlat/internal/stats"
 	"wdmlat/internal/workload"
 )
 
@@ -133,5 +135,47 @@ func TestShortNames(t *testing.T) {
 		if ShortName(c) != s {
 			t.Errorf("ShortName(%v) = %q", c, ShortName(c))
 		}
+	}
+}
+
+func TestFigure4BandPanels(t *testing.T) {
+	results := campaignResults(t)
+	dpc, t28, t24 := Figure4BandPanels(results, 0.95)
+	if len(dpc) != 2 || len(t28) != 2 || len(t24) != 2 {
+		t.Fatalf("panel sizes: %d %d %d", len(dpc), len(t28), len(t24))
+	}
+	for _, p := range dpc[0].Points {
+		if p.CCDFLoPercent > p.CCDFHiPercent {
+			t.Fatalf("inverted band [%g, %g] at %g ms", p.CCDFLoPercent, p.CCDFHiPercent, p.LoMs)
+		}
+	}
+}
+
+func TestPrecisionTable(t *testing.T) {
+	results := campaignResults(t)
+	results[workload.Workstation] = results[workload.Business]
+	results[workload.Web] = results[workload.Games]
+	byOS := map[ospersona.OS]map[workload.Class]*core.Result{ospersona.Win98: results}
+	ads := map[string]campaign.Adaptive{}
+	for _, wl := range workload.Classes {
+		ads[campaign.MatrixKey(ospersona.Win98, wl, "default")] = campaign.Adaptive{Replicas: 3, Converged: true}
+	}
+	prec := stats.Precision{RelWidth: 0.1}
+	out := render(t, PrecisionTable([]ospersona.OS{ospersona.Win98}, workload.Classes, "default",
+		byOS, ads, prec, "Precision test").Write)
+	for _, want := range []string{
+		"Precision test",
+		"p99 ms [95% CI]", "p99.9 ms [95% CI]",
+		"win98/business/default", "DPC interrupt", "RT 28 thread", "RT 24 thread",
+		"true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// 4 cells x 3 distributions, plus title/header/separator.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3+4*3 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
 	}
 }

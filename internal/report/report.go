@@ -151,6 +151,56 @@ func WriteCSV(w io.Writer, series []Series) error {
 	return err
 }
 
+// BandSeries is one labelled latency distribution carrying its DKW
+// confidence band (see stats.BandPoint).
+type BandSeries struct {
+	Label  string
+	Points []stats.BandPoint
+}
+
+// NewBandSeries builds a band series over the paper's axes from a
+// histogram, with the simultaneous DKW band at the given confidence.
+func NewBandSeries(label string, h *stats.Histogram, loMs, hiMs, confidence float64) BandSeries {
+	return BandSeries{Label: label, Points: h.OctaveBandSeries(loMs, hiMs, confidence)}
+}
+
+// WriteBandCSV emits the series as CSV with confidence-band columns:
+// bin_lo_ms, then <name>_ccdf_pct, <name>_ccdf_lo_pct, <name>_ccdf_hi_pct
+// per series — the plottable form of the DKW bands (DESIGN.md §12), so an
+// external Figure 4/5 plot can shade the uncertainty of each CCDF curve.
+func WriteBandCSV(w io.Writer, series []BandSeries) error {
+	if len(series) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("bin_lo_ms")
+	for _, s := range series {
+		n := csvName(s.Label)
+		fmt.Fprintf(&b, ",%s_ccdf_pct,%s_ccdf_lo_pct,%s_ccdf_hi_pct", n, n, n)
+	}
+	b.WriteByte('\n')
+	for i, p := range series[0].Points {
+		fmt.Fprintf(&b, "%g", p.LoMs)
+		for _, s := range series {
+			if i < len(s.Points) {
+				q := s.Points[i]
+				fmt.Fprintf(&b, ",%.6g,%.6g,%.6g", q.CCDFPercent, q.CCDFLoPercent, q.CCDFHiPercent)
+			} else {
+				b.WriteString(",,,")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CIMillis renders a quantile estimate with its confidence interval the way
+// the precision tables do: "est [lo, hi]" in milliseconds.
+func CIMillis(est, lo, hi float64) string {
+	return fmt.Sprintf("%s [%s, %s]", Millis(est), Millis(lo), Millis(hi))
+}
+
 func csvName(s string) string {
 	s = strings.ToLower(s)
 	s = strings.Map(func(r rune) rune {

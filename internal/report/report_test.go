@@ -128,3 +128,40 @@ func TestEmptySeriesSafe(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWriteBandCSV(t *testing.T) {
+	h := sampleHistogram()
+	series := []BandSeries{NewBandSeries("NT 4.0", h, 0.125, 128, 0.95)}
+	var b strings.Builder
+	if err := WriteBandCSV(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 11 { // header + 10 bins
+		t.Fatalf("band CSV has %d lines", len(lines))
+	}
+	if lines[0] != "bin_lo_ms,nt_4_0_ccdf_pct,nt_4_0_ccdf_lo_pct,nt_4_0_ccdf_hi_pct" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 3 {
+			t.Fatalf("row %q has %d commas", l, got)
+		}
+	}
+	// The band must bracket the point estimate on every row.
+	for _, p := range series[0].Points {
+		if p.CCDFLoPercent > p.CCDFPercent+1e-9 || p.CCDFHiPercent < p.CCDFPercent-1e-9 {
+			t.Fatalf("band [%g, %g] does not contain estimate %g at %g ms",
+				p.CCDFLoPercent, p.CCDFHiPercent, p.CCDFPercent, p.LoMs)
+		}
+	}
+	if err := WriteBandCSV(&b, nil); err != nil {
+		t.Fatal("empty band series should be a no-op, not an error")
+	}
+}
+
+func TestCIMillis(t *testing.T) {
+	if got := CIMillis(4.5, 1.5, 11.3); got != "4.5 [1.5, 11.3]" {
+		t.Fatalf("CIMillis = %q", got)
+	}
+}

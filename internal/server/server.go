@@ -389,7 +389,7 @@ func (s *Server) runJob(j *job) {
 			return res, err
 		}
 	}
-	run := campaign.New(campaign.Options{
+	runOpts := campaign.Options{
 		BaseSeed: j.spec.Seed(),
 		Jobs:     s.opts.Jobs,
 		Context:  j.ctx,
@@ -402,7 +402,15 @@ func (s *Server) runJob(j *job) {
 		},
 		ExecuteCell: executeCell,
 		OnCellDone:  j.cellDone,
-	})
+	}
+	if j.spec.Precision != nil {
+		// Adaptive campaigns publish progress per logical cell, below —
+		// the runner's per-replica callback would overshoot Total.
+		runOpts.OnCellDone = nil
+		s.runAdaptive(j, campaign.New(runOpts), &executed)
+		return
+	}
+	run := campaign.New(runOpts)
 	cells := make([]campaign.Cell, len(j.spec.Cells))
 	for i, c := range j.spec.Cells {
 		cells[i] = campaign.Cell{Key: c.Key, Config: c.Config}
@@ -433,6 +441,59 @@ func (s *Server) runJob(j *job) {
 	// Every cell collected; Wait only surfaces checkpoint-store I/O
 	// problems now, which fail the job loudly rather than serving a
 	// result whose cache entries silently went missing.
+	if err := run.Wait(); err != nil {
+		s.finishJob(j, api.StateFailed, nil, err.Error())
+		return
+	}
+	j.mu.Lock()
+	j.cached = executed.Load() == 0
+	j.mu.Unlock()
+	s.finishJob(j, api.StateDone, buf.Bytes(), "")
+}
+
+// runAdaptive executes an adaptive (Precision-bearing) campaign: every spec
+// cell is a logical cell whose replicas are added by the stopping rule, all
+// logical cells progress concurrently on the shared runner pool, and the
+// result stream is one pooled core.EncodeResult document per logical cell
+// in submission order — byte-identical to the same spec run locally,
+// because replica seeds and the stopping rule depend only on the data.
+func (s *Server) runAdaptive(j *job, run *campaign.Runner, executed *atomic.Uint64) {
+	prec := *j.spec.Precision
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	outs := make([]outcome, len(j.spec.Cells))
+	var wg sync.WaitGroup
+	for i, c := range j.spec.Cells {
+		i, c := i, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _, err := run.MergedAdaptive(c.Key, c.Config, prec)
+			outs[i] = outcome{res, err}
+			j.cellDone(c.Key)
+		}()
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	for i, c := range j.spec.Cells {
+		if err := outs[i].err; err != nil {
+			_ = run.Wait() // drain in-flight replicas so their checkpoints flush
+			state := api.StateFailed
+			if errors.Is(err, campaign.ErrCancelled) {
+				state = api.StateCancelled
+			}
+			s.finishJob(j, state, nil, err.Error())
+			return
+		}
+		if err := core.EncodeResult(&buf, outs[i].res); err != nil {
+			_ = run.Wait()
+			s.finishJob(j, api.StateFailed, nil, fmt.Sprintf("encoding cell %q: %v", c.Key, err))
+			return
+		}
+	}
 	if err := run.Wait(); err != nil {
 		s.finishJob(j, api.StateFailed, nil, err.Error())
 		return
@@ -499,6 +560,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if len(spec.Cells) > s.opts.MaxCells {
 		writeError(w, http.StatusBadRequest, "campaign has %d cells, limit %d", len(spec.Cells), s.opts.MaxCells)
 		return
+	}
+	if spec.Precision != nil {
+		// Admission bounds the worst case: every logical cell running to
+		// the policy's replica cap.
+		if worst := len(spec.Cells) * spec.Precision.Normalized().MaxRuns; worst > s.opts.MaxCells {
+			writeError(w, http.StatusBadRequest,
+				"adaptive campaign could expand to %d replica cells (%d cells x max_runs %d), limit %d",
+				worst, len(spec.Cells), spec.Precision.Normalized().MaxRuns, s.opts.MaxCells)
+			return
+		}
 	}
 	id := api.CampaignID(&spec)
 

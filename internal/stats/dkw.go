@@ -1,0 +1,127 @@
+// Dvoretzky–Kiefer–Wolfowitz confidence machinery: distribution-free,
+// simultaneous bands around the empirical CDF/CCDF kept in the integer
+// histograms, and the quantile confidence intervals they induce. The paper
+// publishes fixed-replica tail quantiles with no stated confidence — the
+// exact methodology trap Becker & Chakraborty catalog — and these bands
+// are what turns every such number into a bounded claim: P(sup_x |F_n(x) -
+// F(x)| > eps) <= 2 exp(-2 n eps^2), so eps(n, alpha) = sqrt(ln(2/alpha) /
+// (2n)) bounds the whole curve at once, with no assumption about the
+// (highly nonsymmetric, long-tailed, §4.2) underlying distribution.
+//
+// Everything here is a pure function of the histogram's bucket counts, so
+// any two processes holding the same merged histogram — different worker
+// counts, a resumed campaign, a fleet of remote workers — compute bit-equal
+// bands. That purity is what lets the adaptive replica rule in
+// internal/campaign treat "is the tail converged?" as part of the
+// deterministic campaign contract.
+package stats
+
+import (
+	"math"
+
+	"wdmlat/internal/sim"
+)
+
+// DKWEpsilon returns the half-width of the simultaneous DKW band around
+// the empirical CDF of n samples at the given confidence level: the
+// smallest eps with P(sup_x |F_n(x) - F(x)| > eps) <= 1 - confidence.
+// It shrinks as 1/sqrt(n); with no samples (or a degenerate confidence)
+// the band is vacuous and eps is clamped to 1.
+func DKWEpsilon(n uint64, confidence float64) float64 {
+	if n == 0 || confidence <= 0 || confidence >= 1 {
+		return 1
+	}
+	eps := math.Sqrt(math.Log(2/(1-confidence)) / (2 * float64(n)))
+	if eps > 1 {
+		return 1
+	}
+	return eps
+}
+
+// CCDFBand returns the DKW confidence band around the empirical CCDF at v:
+// with probability >= confidence (simultaneously over every v), the true
+// fraction of the distribution >= v lies within [lo, hi]. The band is
+// centered on CCDF(v) and clipped to [0, 1].
+func (h *Histogram) CCDFBand(v sim.Cycles, confidence float64) (lo, hi float64) {
+	eps := DKWEpsilon(h.n, confidence)
+	c := h.CCDF(v)
+	lo, hi = c-eps, c+eps
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// rankEdge returns a quantile-CI endpoint at bucket resolution: the bucket
+// holding rank p of the sample is located exactly as Quantile locates it,
+// and the endpoint is that bucket's inclusive lower edge (upper false) or
+// its exclusive upper edge (upper true) — always an exact integer bucket
+// edge, so CI endpoints are stable under merge order and re-encoding. p is
+// clamped to the sample range.
+func (h *Histogram) rankEdge(p float64, upper bool) sim.Cycles {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := uint64(p * float64(h.n))
+	if target >= h.n {
+		target = h.n - 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum > target {
+			if upper {
+				return bucketLow(i + 1)
+			}
+			return bucketLow(i)
+		}
+	}
+	return bucketLow(numBuckets + 1) // unreachable for n > 0
+}
+
+// QuantileCI returns the q-quantile estimate together with its DKW
+// confidence interval at the given confidence: by the band inversion, the
+// true q-quantile lies in [lo, hi] with probability >= confidence (again
+// simultaneously over every q). lo and hi are conservative bucket edges —
+// the lower edge of the bucket holding rank q-eps and the upper edge of
+// the bucket holding rank q+eps — and est is Quantile(q). When q±eps falls
+// outside (0,1) the data carry no distribution-free bound in that
+// direction and the interval is clamped to the observed support (see
+// QuantileConverged, which refuses to call such an interval converged).
+func (h *Histogram) QuantileCI(q, confidence float64) (lo, est, hi sim.Cycles) {
+	est = h.Quantile(q)
+	if h.n == 0 {
+		return 0, est, 0
+	}
+	eps := DKWEpsilon(h.n, confidence)
+	return h.rankEdge(q-eps, false), est, h.rankEdge(q+eps, true)
+}
+
+// QuantileConverged reports whether the q-quantile is pinned to the
+// requested relative half-width: the DKW interval [lo, hi] must be a real
+// two-sided bound (eps small enough that q±eps stays inside (0,1) — for a
+// tail quantile this is what demands enough samples to see past it) and
+// satisfy (hi-lo)/2 <= relWidth·est with a positive estimate.
+func (h *Histogram) QuantileConverged(q, confidence, relWidth float64) bool {
+	if h.n == 0 {
+		return false
+	}
+	eps := DKWEpsilon(h.n, confidence)
+	if eps >= 1-q || eps >= q {
+		return false
+	}
+	lo, est, hi := h.QuantileCI(q, confidence)
+	if est <= 0 {
+		return false
+	}
+	return float64(hi-lo) <= 2*relWidth*float64(est)
+}

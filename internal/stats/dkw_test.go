@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wdmlat/internal/sim"
+)
+
+// bandHistogram fills a histogram with n samples from a seeded long-tailed
+// distribution (geometric octave + uniform mantissa — shaped like the
+// paper's latency data).
+func bandHistogram(rng *rand.Rand, n int) *Histogram {
+	h := NewHistogram(sim.DefaultFreq)
+	for i := 0; i < n; i++ {
+		oct := 1
+		for oct < 20 && rng.Intn(2) == 0 {
+			oct++
+		}
+		v := sim.Cycles(1<<uint(oct)) + sim.Cycles(rng.Int63n(1<<uint(oct)))
+		h.Add(v)
+	}
+	return h
+}
+
+// isBucketEdge reports whether v is an exact histogram bucket edge (the
+// underflow edge 0 and the overflow edge included).
+func isBucketEdge(v sim.Cycles) bool {
+	return v == bucketLow(bucketIndex(v))
+}
+
+// TestDKWBandContainsEmpiricalCCDF: the band is centered on the empirical
+// CCDF, so for every probe value lo <= CCDF(v) <= hi, and for a known
+// uniform distribution it also covers the true CCDF at the probes (seeded,
+// so deterministic).
+func TestDKWBandContainsEmpiricalCCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		h := bandHistogram(rng, 200+rng.Intn(5000))
+		for probe := 0; probe < 50; probe++ {
+			v := sim.Cycles(rng.Int63n(1 << 22))
+			lo, hi := h.CCDFBand(v, 0.95)
+			c := h.CCDF(v)
+			if lo > c || c > hi {
+				t.Fatalf("band [%v,%v] does not contain empirical CCDF %v at v=%d", lo, hi, c, v)
+			}
+			if lo < 0 || hi > 1 {
+				t.Fatalf("band [%v,%v] escapes [0,1]", lo, hi)
+			}
+		}
+	}
+
+	// True-coverage spot check: n uniform samples on [1, 2^20); the true
+	// CCDF of v is (2^20 - v) / (2^20 - 1). One seeded draw at n=20000 —
+	// the 95% band covers the truth at every probed point.
+	const span = 1 << 20
+	h := NewHistogram(sim.DefaultFreq)
+	for i := 0; i < 20000; i++ {
+		h.Add(1 + sim.Cycles(rng.Int63n(span-1)))
+	}
+	for _, v := range []sim.Cycles{2, 100, 1 << 10, 1 << 16, 1 << 19} {
+		lo, hi := h.CCDFBand(v, 0.95)
+		truth := float64(span-v) / float64(span-1)
+		// CCDF is bucket-resolution (counts from the bucket containing v
+		// upward), so compare against the truth at the bucket's lower edge.
+		edgeTruth := float64(span-bucketLow(bucketIndex(v))) / float64(span-1)
+		if edgeTruth < lo || edgeTruth > hi {
+			t.Errorf("v=%d: true CCDF %.4f (edge %.4f) outside band [%.4f,%.4f]", v, truth, edgeTruth, lo, hi)
+		}
+	}
+}
+
+// TestDKWWidthShrinksAsRootN: eps is exactly halved when n quadruples
+// (sqrt scaling is exact under power-of-two scaling in IEEE arithmetic),
+// and is monotone non-increasing in n.
+func TestDKWWidthShrinksAsRootN(t *testing.T) {
+	for _, conf := range []float64{0.9, 0.95, 0.99} {
+		for _, n := range []uint64{16, 100, 1024, 1 << 20} {
+			e1 := DKWEpsilon(n, conf)
+			e4 := DKWEpsilon(4*n, conf)
+			if e1 <= 1 { // below the clamp the scaling law must be exact
+				if got, want := e4, e1/2; got != want {
+					t.Errorf("eps(%d)=%v, eps(%d)=%v: want exact halving", n, e1, 4*n, want)
+				}
+			}
+			if DKWEpsilon(n+1, conf) > e1 {
+				t.Errorf("eps not monotone at n=%d conf=%v", n, conf)
+			}
+		}
+	}
+	if DKWEpsilon(0, 0.95) != 1 {
+		t.Errorf("eps(0) = %v, want vacuous 1", DKWEpsilon(0, 0.95))
+	}
+	if DKWEpsilon(10, 0) != 1 || DKWEpsilon(10, 1) != 1 {
+		t.Errorf("degenerate confidence should clamp eps to 1")
+	}
+}
+
+// TestQuantileCIEndpointsOnBucketEdges: every CI endpoint is an exact
+// integer bucket edge, the interval brackets the point estimate, and it
+// widens monotonically as confidence rises.
+func TestQuantileCIEndpointsOnBucketEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		h := bandHistogram(rng, 100+rng.Intn(20000))
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			lo, est, hi := h.QuantileCI(q, 0.95)
+			if !isBucketEdge(lo) {
+				t.Fatalf("q=%v: lower endpoint %d is not a bucket edge", q, lo)
+			}
+			if !isBucketEdge(hi) {
+				t.Fatalf("q=%v: upper endpoint %d is not a bucket edge", q, hi)
+			}
+			if lo > est || est > hi {
+				// est is bucket-resolution (Quantile's bucketLow) except at
+				// the q<=0/q>=1 clamps, which cannot occur for these q.
+				t.Fatalf("q=%v: estimate %d outside its own CI [%d,%d]", q, est, lo, hi)
+			}
+			l90, _, h90 := h.QuantileCI(q, 0.90)
+			if l90 < lo || h90 > hi {
+				t.Fatalf("q=%v: 90%% CI [%d,%d] wider than 95%% CI [%d,%d]", q, l90, h90, lo, hi)
+			}
+		}
+	}
+}
+
+// TestQuantileConverged: a tail quantile is never "converged" while the
+// DKW band cannot even see past it (eps >= 1-q), becomes converged as
+// samples accumulate, and stays unconverged forever at impossible widths.
+func TestQuantileConverged(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+
+	small := bandHistogram(rng, 50) // eps(50, .95) ≈ 0.19 > 1-0.99
+	if small.QuantileConverged(0.99, 0.95, 0.5) {
+		t.Error("50 samples claimed to pin p99 — DKW cannot see past the tail yet")
+	}
+
+	// A tight distribution: everything in one bucket pair. With enough
+	// samples the p99 CI collapses to adjacent bucket edges (~4.4% wide).
+	tight := NewHistogram(sim.DefaultFreq)
+	for i := 0; i < 200000; i++ {
+		tight.Add(1000 + sim.Cycles(i%3))
+	}
+	if !tight.QuantileConverged(0.99, 0.95, 0.1) {
+		lo, est, hi := tight.QuantileCI(0.99, 0.95)
+		t.Errorf("200k tight samples did not converge p99 at 10%%: [%d, %d, %d]", lo, est, hi)
+	}
+	if tight.QuantileConverged(0.99, 0.95, 0.000001) {
+		t.Error("bucket resolution (~4.4%) cannot satisfy a 0.0001% width")
+	}
+
+	var empty *Histogram = NewHistogram(sim.DefaultFreq)
+	if empty.QuantileConverged(0.99, 0.95, 0.5) {
+		t.Error("empty histogram claimed convergence")
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	cases := []struct {
+		name   string
+		series []float64
+		window int
+		tol    float64
+		want   bool
+	}{
+		{"settled", []float64{5, 9, 10, 10.2, 10.1, 10}, 3, 0.05, true},
+		{"still-moving", []float64{5, 9, 10, 12, 14, 16}, 3, 0.05, false},
+		{"too-short", []float64{10, 10}, 3, 0.05, false},
+		{"exact-window", []float64{10, 10, 10}, 3, 0, true},
+		{"zero-ref-all-zero", []float64{0, 0, 0}, 3, 0.1, true},
+		{"zero-ref-nonzero", []float64{0.1, 0, 0}, 3, 0.1, false},
+		{"bad-window", []float64{1, 2, 3}, 0, 0.1, false},
+	}
+	for _, c := range cases {
+		if got := SteadyState(c.series, c.window, c.tol); got != c.want {
+			t.Errorf("%s: SteadyState(%v, %d, %v) = %v, want %v", c.name, c.series, c.window, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestPrecisionValidateAndCanonical(t *testing.T) {
+	good := Precision{RelWidth: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("minimal policy invalid: %v", err)
+	}
+	n := good.Normalized()
+	if n.Confidence != DefaultConfidence || n.MinRuns != DefaultMinRuns ||
+		n.MaxRuns != DefaultMaxRuns || n.Batch != DefaultBatch || len(n.Quantiles) != 2 {
+		t.Fatalf("defaults not filled: %+v", n)
+	}
+
+	bad := []Precision{
+		{RelWidth: 0},
+		{RelWidth: -1},
+		{RelWidth: 1.5},
+		{RelWidth: 0.1, Confidence: 1.2},
+		{RelWidth: 0.1, Quantiles: []float64{0}},
+		{RelWidth: 0.1, Quantiles: []float64{1}},
+		{RelWidth: 0.1, MinRuns: -1},
+		{RelWidth: 0.1, MinRuns: 10, MaxRuns: 5},
+		{RelWidth: 0.1, Batch: -2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad[%d] %+v validated", i, p)
+		}
+	}
+
+	// Canonical is insensitive to spelled-out defaults and quantile order.
+	a := Precision{RelWidth: 0.1}.Canonical()
+	b := Precision{RelWidth: 0.1, Confidence: 0.95, MinRuns: 3, MaxRuns: 64, Batch: 1,
+		Quantiles: []float64{0.999, 0.99}}.Canonical()
+	if a != b {
+		t.Errorf("canonical forms differ:\n %s\n %s", a, b)
+	}
+	if !strings.Contains(a, "q=0.99,0.999") || !strings.Contains(a, "w=0.1") {
+		t.Errorf("canonical form unexpected: %s", a)
+	}
+	// ...and sensitive to every knob that changes the stopping rule.
+	if (Precision{RelWidth: 0.1, Batch: 2}).Canonical() == a {
+		t.Error("batch not part of the canonical identity")
+	}
+}
+
+// TestQuantileCIShrinksWithSamples: the quantile CI relative width is
+// non-increasing (down to bucket resolution) as the same distribution
+// accumulates samples — the property the adaptive replica loop relies on
+// to terminate.
+func TestQuantileCIShrinksWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := NewHistogram(sim.DefaultFreq)
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			h.Add(1 + sim.Cycles(rng.Int63n(1<<16)))
+		}
+	}
+	width := func() float64 {
+		lo, est, hi := h.QuantileCI(0.99, 0.95)
+		if est == 0 {
+			return math.Inf(1)
+		}
+		return float64(hi-lo) / float64(est)
+	}
+	add(2000)
+	w1 := width()
+	add(200000)
+	w2 := width()
+	if w2 > w1 {
+		t.Errorf("p99 CI widened with more samples: %v -> %v", w1, w2)
+	}
+	if !h.QuantileConverged(0.99, 0.95, 0.15) {
+		t.Errorf("202k uniform samples should pin p99 to 15%%: rel width %v", w2)
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Precision is a campaign's statistical-precision policy: run independent
+// replicas of a measurement cell until the requested tail quantiles of its
+// pooled distributions are known to a requested relative half-width at a
+// requested confidence, as judged by the distribution-free DKW bands of
+// dkw.go. The policy is data-only — every field feeds a pure function of
+// the pooled histograms — so a campaign that applies it stays byte-for-byte
+// deterministic at any worker count and across resume and fleet execution.
+//
+// The zero value is not a valid policy; fill RelWidth and call Normalized
+// (which supplies the documented defaults for everything else).
+type Precision struct {
+	// Quantiles are the tail quantiles the stopping rule must pin down,
+	// each in (0,1). Default: 0.99 and 0.999 — the paper's tail-claim
+	// region (Figure 4 bottoms out around the 99.99th percentile, but
+	// p99/p99.9 are where Table 3's horizon math lives).
+	Quantiles []float64 `json:"quantiles,omitempty"`
+	// RelWidth is the target relative half-width: replicas stop once, for
+	// every watched distribution and quantile q, the DKW confidence
+	// interval [lo,hi] satisfies (hi-lo)/2 <= RelWidth * estimate.
+	// Required, in (0,1].
+	RelWidth float64 `json:"rel_width"`
+	// Confidence is the simultaneous band confidence used for the DKW
+	// epsilon, in (0,1). Default 0.95.
+	Confidence float64 `json:"confidence,omitempty"`
+	// MinRuns is the replica count every cell starts with (>= 1; also the
+	// minimum the steady-state window needs). Default 3.
+	MinRuns int `json:"min_runs,omitempty"`
+	// MaxRuns is the hard replica cap: a cell that reaches it unconverged
+	// stops anyway and is counted as a convergence failure. Default 64.
+	MaxRuns int `json:"max_runs,omitempty"`
+	// Batch is how many replicas are added per evaluation round after
+	// MinRuns. Part of the policy's identity: a different batch schedule
+	// evaluates the stopping rule at different prefixes and may stop at a
+	// different replica count. Default 1.
+	Batch int `json:"batch,omitempty"`
+}
+
+// Default policy knobs, exported so flag help and docs quote one source.
+const (
+	DefaultConfidence = 0.95
+	DefaultMinRuns    = 3
+	DefaultMaxRuns    = 64
+	DefaultBatch      = 1
+)
+
+// DefaultQuantiles returns the default watched quantiles (fresh slice).
+func DefaultQuantiles() []float64 { return []float64{0.99, 0.999} }
+
+// Normalized returns the policy with every zero-valued knob replaced by
+// its documented default. Quantiles are sorted ascending (the stopping
+// rule is a conjunction, so order is cosmetic, but Canonical — and
+// therefore every content address — must not depend on input order).
+func (p Precision) Normalized() Precision {
+	if len(p.Quantiles) == 0 {
+		p.Quantiles = DefaultQuantiles()
+	} else {
+		p.Quantiles = append([]float64(nil), p.Quantiles...)
+		sort.Float64s(p.Quantiles)
+	}
+	if p.Confidence == 0 {
+		p.Confidence = DefaultConfidence
+	}
+	if p.MinRuns == 0 {
+		p.MinRuns = DefaultMinRuns
+	}
+	if p.MaxRuns == 0 {
+		p.MaxRuns = DefaultMaxRuns
+	}
+	if p.Batch == 0 {
+		p.Batch = DefaultBatch
+	}
+	return p
+}
+
+// Validate rejects policies the adaptive runner cannot honor. It validates
+// the normalized form, so callers may pass shorthand (zero) knobs.
+func (p Precision) Validate() error {
+	n := p.Normalized()
+	if !(n.RelWidth > 0 && n.RelWidth <= 1) {
+		return fmt.Errorf("stats: precision rel_width %v outside (0,1]", p.RelWidth)
+	}
+	if !(n.Confidence > 0 && n.Confidence < 1) {
+		return fmt.Errorf("stats: precision confidence %v outside (0,1)", p.Confidence)
+	}
+	for _, q := range n.Quantiles {
+		if !(q > 0 && q < 1) {
+			return fmt.Errorf("stats: precision quantile %v outside (0,1)", q)
+		}
+	}
+	if n.MinRuns < 1 {
+		return fmt.Errorf("stats: precision min_runs %d < 1", p.MinRuns)
+	}
+	if n.MaxRuns < n.MinRuns {
+		return fmt.Errorf("stats: precision max_runs %d < min_runs %d", n.MaxRuns, n.MinRuns)
+	}
+	if n.Batch < 1 {
+		return fmt.Errorf("stats: precision batch %d < 1", p.Batch)
+	}
+	return nil
+}
+
+// Canonical renders the normalized policy as a stable string, the form the
+// campaign content address hashes: two policies that request the same
+// stopping rule canonicalize identically regardless of which knobs were
+// spelled out and in what order the quantiles were listed.
+func (p Precision) Canonical() string {
+	n := p.Normalized()
+	qs := make([]string, len(n.Quantiles))
+	for i, q := range n.Quantiles {
+		qs[i] = strconv.FormatFloat(q, 'g', -1, 64)
+	}
+	return fmt.Sprintf("q=%s;w=%s;c=%s;min=%d;max=%d;batch=%d",
+		strings.Join(qs, ","),
+		strconv.FormatFloat(n.RelWidth, 'g', -1, 64),
+		strconv.FormatFloat(n.Confidence, 'g', -1, 64),
+		n.MinRuns, n.MaxRuns, n.Batch)
+}
+
+// SteadyState reports whether the tail of a replica-sequence estimate has
+// settled: true iff the series has at least window entries and every one
+// of the last window values lies within relTol of the final value
+// (relative to the final value; a zero final value requires exact zeros).
+// It is the deterministic steady-state test the adaptive stopping rule
+// applies to per-replica quantile trajectories: a pure function of the
+// series, so any two processes that observed the same replica prefix
+// agree on it.
+func SteadyState(series []float64, window int, relTol float64) bool {
+	if window < 1 || len(series) < window {
+		return false
+	}
+	ref := series[len(series)-1]
+	for _, v := range series[len(series)-window:] {
+		if ref == 0 {
+			if v != 0 {
+				return false
+			}
+			continue
+		}
+		if math.Abs(v-ref) > relTol*math.Abs(ref) {
+			return false
+		}
+	}
+	return true
+}

@@ -17,6 +17,27 @@ type Point struct {
 // the thread plots; 1..128 ms for the DPC plots). Bins are clipped to
 // [loMs, hiMs]; samples below the first bin are folded into it and samples
 // above the last into the last, as the paper's edge bins do.
+// BandPoint is a Point augmented with the simultaneous DKW confidence band
+// around its CCDF value: with probability ≥ confidence, the true
+// P(latency ≥ LoMs) lies in [CCDFLoPercent, CCDFHiPercent] — at every bin
+// at once, since the DKW band is simultaneous over the whole distribution.
+type BandPoint struct {
+	Point
+	CCDFLoPercent, CCDFHiPercent float64
+}
+
+// OctaveBandSeries is OctaveSeries with the DKW band attached: each bin
+// carries the band around the empirical CCDF at the bin's lower edge.
+func (h *Histogram) OctaveBandSeries(loMs, hiMs, confidence float64) []BandPoint {
+	pts := h.OctaveSeries(loMs, hiMs)
+	out := make([]BandPoint, len(pts))
+	for i, p := range pts {
+		lo, hi := h.CCDFBand(h.freq.FromMillis(p.LoMs), confidence)
+		out[i] = BandPoint{Point: p, CCDFLoPercent: lo * 100, CCDFHiPercent: hi * 100}
+	}
+	return out
+}
+
 func (h *Histogram) OctaveSeries(loMs, hiMs float64) []Point {
 	if h.n == 0 || loMs <= 0 || hiMs <= loMs {
 		return nil
