@@ -18,7 +18,7 @@ NEW  ?= bench-new.json
 # coverage grows, never lower it to make a failure go away.
 COVER_FLOOR ?= 85.0
 
-.PHONY: all check lint vet build test race substrate failure-paths service fleet-faults cover determinism smoke resume-smoke serve-smoke horde-smoke bench bench-smoke bench-compare reproduce clean
+.PHONY: all check lint vet build test race substrate failure-paths service fleet-faults cover determinism smoke storm-smoke resume-smoke serve-smoke horde-smoke bench bench-smoke bench-compare reproduce clean
 
 all: check
 
@@ -84,14 +84,15 @@ fleet-faults:
 	$(GO) test -race -run 'TestBackoff|TestWorker|TestRunWorker' ./internal/client/
 
 # cover: the coverage gate for the campaign runtime, the metrics registry,
-# and (since fleet mode) the service wire types and the server — coordinator
-# state machine included. Produces cover.out (the CI job uploads it) and
-# fails if total statement coverage over those packages drops below
+# (since fleet mode) the service wire types and the server — coordinator
+# state machine included — and (since the storm frontier) the sweep engine
+# and its livelock criterion. Produces cover.out (the CI job uploads it)
+# and fails if total statement coverage over those packages drops below
 # COVER_FLOOR. (internal/client is exercised mostly by internal/server's
 # end-to-end tests, which per-package profiles do not credit, so it stays
 # outside the floor's scope.)
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/campaign/... ./internal/metrics/... ./internal/server/... ./internal/api/... ./internal/stats/...
+	$(GO) test -coverprofile=cover.out ./internal/campaign/... ./internal/metrics/... ./internal/server/... ./internal/api/... ./internal/stats/... ./internal/frontier/...
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || \
@@ -144,6 +145,38 @@ smoke:
 		{ echo "smoke: telemetry has no checkpoint writes"; exit 1; }
 	@echo "smoke: telemetry snapshot has nonzero cell and checkpoint counters"
 	rm -rf results-smoke
+
+# storm-smoke: a fast end-to-end pass of the interrupt-storm frontier
+# pipeline — a short checkpointed sweep, a warm-store re-run at a different
+# worker count that must reproduce the artifacts byte for byte, and a
+# telemetry snapshot that must show the sweep actually probed, saturated
+# and located knees. The scratch directory is removed on success and left
+# behind on failure for the post-mortem.
+storm-smoke:
+	rm -rf results-storm-smoke
+	mkdir -p results-storm-smoke
+	$(GO) build -o results-storm-smoke/stormsweep ./cmd/stormsweep
+	results-storm-smoke/stormsweep -duration 2s -runs 2 -seed 7 \
+		-min-pps 16384 -max-pps 262144 -bisect 2 -jobs 4 \
+		-checkpoint results-storm-smoke/ckpt -outdir results-storm-smoke/cold \
+		-telemetry results-storm-smoke/telemetry.json
+	results-storm-smoke/stormsweep -duration 2s -runs 2 -seed 7 \
+		-min-pps 16384 -max-pps 262144 -bisect 2 -jobs 1 \
+		-checkpoint results-storm-smoke/ckpt -outdir results-storm-smoke/warm
+	diff -r results-storm-smoke/cold results-storm-smoke/warm
+	@grep -q '"frontier_probes": [1-9]' results-storm-smoke/telemetry.json || \
+		{ echo "storm-smoke: telemetry has no frontier probes"; exit 1; }
+	@grep -q '"frontier_saturated_probes": [1-9]' results-storm-smoke/telemetry.json || \
+		{ echo "storm-smoke: no probe saturated"; exit 1; }
+	@grep -q '"frontier_knees": [1-9]' results-storm-smoke/telemetry.json || \
+		{ echo "storm-smoke: no knee located"; exit 1; }
+	@nt=$$(awk '$$1 == "nt4/per-assert" && $$3 == "pps" {print $$2; exit}' results-storm-smoke/cold/frontier.txt); \
+	w98=$$(awk '$$1 == "win98/per-assert" && $$3 == "pps" {print $$2; exit}' results-storm-smoke/cold/frontier.txt); \
+	echo "storm-smoke: knees nt4=$$nt pps, win98=$$w98 pps"; \
+	awk -v a="$$w98" -v b="$$nt" 'BEGIN { exit (a+0 > 0 && a+0 < b+0) ? 0 : 1 }' || \
+		{ echo "storm-smoke: Win98 knee not strictly below NT4 knee"; exit 1; }
+	@echo "storm-smoke: warm-store artifacts byte-identical; knees ordered; telemetry shows probes, saturation and knees"
+	rm -rf results-storm-smoke
 
 # resume-smoke: kill a checkpointed campaign mid-flight with SIGINT, resume
 # it from the checkpoint store, and demand the resumed artifacts be

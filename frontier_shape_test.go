@@ -1,0 +1,89 @@
+// Frontier-conformance shape test: the interrupt-storm sweep must
+// reproduce the paper's ordering at the livelock frontier. Windows 98
+// spends more cycles per indicated packet than NT (VxD emulation and the
+// longer masked windows, §4.2), so its receive path collapses at a
+// strictly lower offered rate: the Win98 knee sits below the NT4 knee in
+// every matched moderation mode, and at a matched offered load the Win98
+// packet-service tail is the worse one. Like the paper-conformance suite,
+// this runs a short fixed-seed campaign through internal/campaign, so the
+// invariants hold identically at any worker count.
+package wdmlat_test
+
+import (
+	"testing"
+	"time"
+
+	"wdmlat/internal/campaign"
+	"wdmlat/internal/frontier"
+	"wdmlat/internal/hw"
+	"wdmlat/internal/ospersona"
+)
+
+func TestFrontierKneeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier sweep is a few seconds of simulation; skipped in -short")
+	}
+	run := campaign.New(campaign.Options{BaseSeed: conformanceSeed})
+	fs, err := frontier.Run(run, frontier.Options{
+		OSes:        []ospersona.OS{ospersona.NT4, ospersona.Win98},
+		Modes:       []hw.Moderation{hw.ModeratePerWindow},
+		MinPPS:      16384,
+		MaxPPS:      262144,
+		BisectSteps: 2,
+		Duration:    2 * time.Second,
+		Runs:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := run.Wait(); werr != nil {
+		t.Fatal(werr)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("%d tracks, want 2", len(fs))
+	}
+	nt, w98 := fs[0], fs[1]
+
+	// Both personas must saturate inside the sweep range: a censored track
+	// means the criterion (or the storm model) stopped biting.
+	for _, f := range fs {
+		if f.Censored {
+			t.Fatalf("%v track censored: nothing saturated up to the ceiling", f.OS)
+		}
+		if f.Knee == 0 {
+			t.Fatalf("%v track saturated at the sweep floor", f.OS)
+		}
+	}
+
+	// The headline ordering: Win98 collapses strictly first.
+	if w98.Knee >= nt.Knee {
+		t.Fatalf("Win98 knee %.0f pps not strictly below NT4 knee %.0f pps",
+			w98.Knee, nt.Knee)
+	}
+
+	// At the shared floor rate — comfortably sustainable for both — the
+	// Win98 packet-arrival→ISR tail must already be the worse one (§4.2's
+	// per-packet cost gap, visible long before the knee).
+	ntLat := probeTail(t, &nt, 16384)
+	w98Lat := probeTail(t, &w98, 16384)
+	if w98Lat <= ntLat {
+		t.Fatalf("Win98 NIC p99.9 %.3f ms not above NT4's %.3f ms at 16384 pps",
+			w98Lat, ntLat)
+	}
+}
+
+// probeTail returns the packet-service p99.9 in milliseconds at an offered
+// rate the track is known to have probed.
+func probeTail(t *testing.T, f *frontier.Frontier, pps float64) float64 {
+	t.Helper()
+	for _, p := range f.Probes {
+		if p.PPS == pps {
+			if p.Result.NicLat == nil || p.Result.NicLat.N() == 0 {
+				t.Fatalf("%v probe at %.0f pps has no NIC latency histogram", f.OS, pps)
+			}
+			return p.Result.Freq.Millis(p.Result.NicLat.Quantile(0.999))
+		}
+	}
+	t.Fatalf("%v track never probed %.0f pps", f.OS, pps)
+	return 0
+}

@@ -18,6 +18,7 @@ import (
 
 	"wdmlat/internal/causetool"
 	"wdmlat/internal/kernel"
+	"wdmlat/internal/ospersona"
 	"wdmlat/internal/sim"
 	"wdmlat/internal/stats"
 	"wdmlat/internal/workload"
@@ -27,7 +28,10 @@ import (
 // a stored Result was produced under. Checkpoint fingerprints include it,
 // so bumping the version invalidates every stored cell — the safe
 // direction: a stale checkpoint silently re-runs, it never corrupts.
-const ResultCodecVersion = 1
+// Version 2: storm/pacing fields (NicLat, Storm, Pacing) and the RunConfig
+// storm knobs — pre-storm checkpoints re-run rather than silently losing
+// the new fields.
+const ResultCodecVersion = 2
 
 // resultWire mirrors Result field-for-field plus the version tag.
 type resultWire struct {
@@ -51,6 +55,10 @@ type resultWire struct {
 	AudioPeriods   uint64
 
 	Episodes []causetool.Episode
+
+	NicLat *stats.Histogram       `json:",omitempty"`
+	Storm  *StormStats            `json:",omitempty"`
+	Pacing *ospersona.PacingStats `json:",omitempty"`
 }
 
 // EncodeResult writes r's checkpoint encoding to w.
@@ -73,6 +81,9 @@ func EncodeResult(w io.Writer, r *Result) error {
 		AudioUnderruns: r.AudioUnderruns,
 		AudioPeriods:   r.AudioPeriods,
 		Episodes:       r.Episodes,
+		NicLat:         r.NicLat,
+		Storm:          r.Storm,
+		Pacing:         r.Pacing,
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&wire)
@@ -104,5 +115,8 @@ func DecodeResult(rd io.Reader) (*Result, error) {
 		AudioUnderruns: wire.AudioUnderruns,
 		AudioPeriods:   wire.AudioPeriods,
 		Episodes:       wire.Episodes,
+		NicLat:         wire.NicLat,
+		Storm:          wire.Storm,
+		Pacing:         wire.Pacing,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"wdmlat/internal/hw"
 	"wdmlat/internal/ospersona"
 	"wdmlat/internal/workload"
 )
@@ -32,6 +33,8 @@ func TestResultCodecRoundTrip(t *testing.T) {
 		{OS: ospersona.NT4, Workload: workload.Business, Duration: 2 * time.Second, Seed: 11},
 		{OS: ospersona.Win98, Workload: workload.Games, Duration: 2 * time.Second, Seed: 12,
 			SoundScheme: true, CauseAnalysis: true, CauseThreshold: 4 * time.Millisecond},
+		{OS: ospersona.NT4, Idle: true, Duration: time.Second, Seed: 13,
+			StormPPS: 32768, NICModeration: hw.ModerateITR, FramePacing: true},
 	}
 	for _, cfg := range cfgs {
 		r := Run(cfg)
@@ -51,7 +54,7 @@ func TestResultCodecVersionGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := bytes.Replace(buf.Bytes(),
-		[]byte(`"Version":1`), []byte(`"Version":999`), 1)
+		[]byte(`"Version":2`), []byte(`"Version":999`), 1)
 	if !bytes.Contains(data, []byte(`"Version":999`)) {
 		t.Fatal("test setup: version tag not found in encoding")
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wdmlat/internal/causetool"
+	"wdmlat/internal/hw"
 	"wdmlat/internal/kernel"
 	"wdmlat/internal/latdriver"
 	"wdmlat/internal/ospersona"
@@ -71,6 +72,28 @@ type RunConfig struct {
 	// PIODisk disables the Table 2 DMA configuration (ablation): disk
 	// transfers then execute at DISPATCH_LEVEL in the driver.
 	PIODisk bool
+	// StormPPS, when positive, adds the interrupt-storm workload: a
+	// sustained packet stream at this offered rate (packets per second)
+	// with per-packet arrival-to-indication accounting. It composes with
+	// Idle (storm only — the frontier's configuration) or a stress class.
+	StormPPS float64
+	// StormBytes is the storm frame size (default 1460 when storming).
+	StormBytes int
+	// NICModeration selects the card's interrupt-moderation mode; the zero
+	// value is the per-window behaviour of every paper-era figure.
+	NICModeration hw.Moderation
+	// NICGapUS is the moderation spacing in microseconds: the ITR gap, or
+	// the adaptive upper bound. Zero defaults to 250 µs when a throttled
+	// mode is selected.
+	NICGapUS float64
+	// FramePacing attaches the display vblank device and the frame-pacing
+	// application, reporting missed-frame and jitter distributions.
+	FramePacing bool
+	// FramePeriodMS / FrameComputeFrac / FramePriority parameterize the
+	// pacer (defaults 16.7 ms, 0.4, real-time default priority).
+	FramePeriodMS    float64
+	FrameComputeFrac float64
+	FramePriority    int
 }
 
 func (c *RunConfig) fillDefaults() {
@@ -82,6 +105,27 @@ func (c *RunConfig) fillDefaults() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	// Storm and pacing defaults resolve only when their feature is on, so
+	// the Normalized form of every pre-storm config is unchanged.
+	if c.StormPPS > 0 {
+		if c.StormBytes == 0 {
+			c.StormBytes = 1460
+		}
+	}
+	if c.NICModeration != hw.ModeratePerWindow && c.NICGapUS == 0 {
+		c.NICGapUS = 250
+	}
+	if c.FramePacing {
+		if c.FramePeriodMS == 0 {
+			c.FramePeriodMS = 16.7
+		}
+		if c.FrameComputeFrac == 0 {
+			c.FrameComputeFrac = 0.4
+		}
+		if c.FramePriority == 0 {
+			c.FramePriority = kernel.RealtimeDefault
+		}
 	}
 }
 
@@ -123,6 +167,25 @@ type Result struct {
 
 	// Episodes holds the cause-tool captures when CauseAnalysis was on.
 	Episodes []causetool.Episode
+
+	// NicLat is the packet arrival-to-indication latency — the queueing
+	// cost of interrupt moderation (nil unless StormPPS > 0).
+	NicLat *stats.Histogram
+	// Storm summarizes the offered stream (nil unless StormPPS > 0).
+	Storm *StormStats
+	// Pacing is the frame pacer's outcome (nil unless FramePacing).
+	Pacing *ospersona.PacingStats
+}
+
+// StormStats summarizes one storm run's packet accounting: the livelock
+// criterion reads the backlog trajectory, the frontier tables the rest.
+type StormStats struct {
+	OfferedPPS float64 // configured offered rate
+	Offered    uint64  // packets the storm delivered to the ring
+	Delivered  uint64  // packets the driver drained
+	Dropped    uint64  // ring overflows
+	Asserts    uint64  // interrupt assertions (coalescing ratio = Delivered/Asserts)
+	Backlog    []workload.BacklogSample
 }
 
 // Run executes one measurement run and returns its result.
@@ -135,12 +198,21 @@ func Run(cfg RunConfig) *Result {
 		SoundScheme:    cfg.SoundScheme,
 		WorkerPriority: cfg.WorkerPriority,
 		PIODisk:        cfg.PIODisk,
+		NICModeration:  cfg.NICModeration,
 	}
 	if cfg.PITPeriod > 0 {
 		opts.PITPeriod = sim.DefaultFreq.Cycles(cfg.PITPeriod)
 	}
+	if cfg.NICGapUS > 0 {
+		opts.NICGap = sim.DefaultFreq.FromMillis(cfg.NICGapUS / 1000)
+	}
 	m := ospersona.Build(cfg.OS, opts)
 	defer m.Shutdown()
+
+	var nicLat *stats.Histogram
+	if cfg.StormPPS > 0 {
+		nicLat = m.EnableStormAccounting()
+	}
 
 	var cause *causetool.Tool
 	toolOpts := latdriver.Options{
@@ -178,9 +250,30 @@ func Run(cfg RunConfig) *Result {
 		gen = workload.New(cfg.Workload, m)
 		gen.Start()
 	}
+	var storm *workload.Storm
+	if cfg.StormPPS > 0 {
+		storm = workload.NewStorm(m, workload.StormConfig{
+			PPS:   cfg.StormPPS,
+			Bytes: cfg.StormBytes,
+		})
+		storm.Start()
+	}
+	if cfg.FramePacing {
+		m.StartFramePacing(ospersona.PacingConfig{
+			PeriodMS:    cfg.FramePeriodMS,
+			ComputeFrac: cfg.FrameComputeFrac,
+			Priority:    cfg.FramePriority,
+		})
+	}
 	m.RunFor(m.Freq().Cycles(cfg.Duration))
 	if gen != nil {
 		gen.Stop()
+	}
+	if storm != nil {
+		storm.Stop()
+	}
+	if cfg.FramePacing {
+		m.StopFramePacing()
 	}
 	tool.Stop()
 
@@ -210,6 +303,22 @@ func Run(cfg RunConfig) *Result {
 	if cause != nil {
 		cause.Detach()
 		res.Episodes = cause.Episodes()
+	}
+	if storm != nil {
+		res.NicLat = nicLat
+		res.Storm = &StormStats{
+			OfferedPPS: cfg.StormPPS,
+			Offered:    storm.Offered(),
+			Delivered:  m.NIC.Delivered(),
+			Dropped:    m.NIC.Dropped(),
+			Asserts:    m.NIC.Asserts(),
+			Backlog:    append([]workload.BacklogSample(nil), storm.Samples()...),
+		}
+	}
+	if cfg.FramePacing {
+		if p, ok := m.FramePacingStats(); ok {
+			res.Pacing = &p
+		}
 	}
 	return res
 }

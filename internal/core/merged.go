@@ -18,6 +18,7 @@ import (
 	"wdmlat/internal/par"
 	"wdmlat/internal/sim"
 	"wdmlat/internal/stats"
+	"wdmlat/internal/workload"
 )
 
 // ReplicaSeed derives the seed of replica i of a pooled run. Replica 0
@@ -93,6 +94,18 @@ func (r *Result) Clone() *Result {
 	if r.Episodes != nil {
 		cp.Episodes = append([]causetool.Episode(nil), r.Episodes...)
 	}
+	cp.NicLat = cloneH(r.NicLat)
+	if r.Storm != nil {
+		st := *r.Storm
+		st.Backlog = append([]workload.BacklogSample(nil), r.Storm.Backlog...)
+		cp.Storm = &st
+	}
+	if r.Pacing != nil {
+		p := *r.Pacing
+		p.FrameLat = cloneH(r.Pacing.FrameLat)
+		p.Jitter = cloneH(r.Pacing.Jitter)
+		cp.Pacing = &p
+	}
 	return &cp
 }
 
@@ -141,4 +154,28 @@ func (r *Result) Merge(other *Result) {
 	r.AudioUnderruns += other.AudioUnderruns
 	r.AudioPeriods += other.AudioPeriods
 	r.Episodes = append(r.Episodes, other.Episodes...)
+	if r.NicLat != nil && other.NicLat != nil {
+		r.NicLat.Merge(other.NicLat)
+	}
+	if r.Storm != nil && other.Storm != nil {
+		r.Storm.Offered += other.Storm.Offered
+		r.Storm.Delivered += other.Storm.Delivered
+		r.Storm.Dropped += other.Storm.Dropped
+		r.Storm.Asserts += other.Storm.Asserts
+		// Backlog trajectories concatenate in merge (replica) order; the
+		// livelock criterion re-splits them where T resets.
+		r.Storm.Backlog = append(r.Storm.Backlog, other.Storm.Backlog...)
+	}
+	if r.Pacing != nil && other.Pacing != nil {
+		r.Pacing.VBlanks += other.Pacing.VBlanks
+		r.Pacing.Releases += other.Pacing.Releases
+		r.Pacing.Completions += other.Pacing.Completions
+		r.Pacing.Misses += other.Pacing.Misses
+		r.Pacing.Skips += other.Pacing.Skips
+		if other.Pacing.MaxLateness > r.Pacing.MaxLateness {
+			r.Pacing.MaxLateness = other.Pacing.MaxLateness
+		}
+		r.Pacing.FrameLat.Merge(other.Pacing.FrameLat)
+		r.Pacing.Jitter.Merge(other.Pacing.Jitter)
+	}
 }

@@ -1,0 +1,188 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"wdmlat/internal/campaign"
+	"wdmlat/internal/core"
+	"wdmlat/internal/frontier"
+	"wdmlat/internal/report"
+)
+
+// trackLabel names one frontier track the way its probe keys do.
+func trackLabel(f *frontier.Frontier) string {
+	return campaign.OSSlug(f.OS) + "/" + f.Mode.String()
+}
+
+// FrontierKneeTable summarizes each (persona × moderation mode) track: the
+// detected livelock knee and the signals that fired at the first saturated
+// probe above it.
+func FrontierKneeTable(fs []frontier.Frontier, title string) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"Track", "Knee", "Probes", "First saturation"},
+	}
+	for i := range fs {
+		f := &fs[i]
+		first := "none (censored)"
+		for _, p := range f.Probes {
+			if p.Verdict.Saturated {
+				first = fmt.Sprintf("r%d %v", int64(p.PPS), p.Verdict.Reasons)
+				break
+			}
+		}
+		t.AddRow(trackLabel(f), f.KneeLabel(), fmt.Sprintf("%d", len(f.Probes)), first)
+	}
+	return t
+}
+
+// FrontierProbeTable lists every evaluated probe with its saturation
+// signals and tail latency — the tabular form of the
+// latency-vs-offered-load surface.
+func FrontierProbeTable(fs []frontier.Frontier, title string) *report.Table {
+	t := &report.Table{
+		Title: title,
+		Headers: []string{"Track", "Offered pps", "Verdict", "Drop frac",
+			"CPU avail", "Backlog", "NIC p99.9 ms", "NIC max ms", "DPC p99.9 ms"},
+	}
+	for i := range fs {
+		f := &fs[i]
+		for _, p := range f.Probes {
+			r := p.Result
+			verdict := "sustainable"
+			if p.Verdict.Saturated {
+				verdict = fmt.Sprintf("saturated%v", p.Verdict.Reasons)
+			}
+			nic999, nicMax, dpc999 := "n/a", "n/a", "n/a"
+			if r.NicLat != nil && r.NicLat.N() > 0 {
+				nic999 = fmt.Sprintf("%.3f", r.Freq.Millis(r.NicLat.Quantile(0.999)))
+				nicMax = fmt.Sprintf("%.3f", r.Freq.Millis(r.NicLat.Max()))
+			}
+			if r.DpcInt != nil && r.DpcInt.N() > 0 {
+				dpc999 = fmt.Sprintf("%.3f", r.Freq.Millis(r.DpcInt.Quantile(0.999)))
+			}
+			t.AddRow(trackLabel(f), fmt.Sprintf("%d", int64(p.PPS)), verdict,
+				fmt.Sprintf("%.4f", p.Verdict.DropFrac),
+				fmt.Sprintf("%.3f", p.Verdict.CPUAvail),
+				fmt.Sprintf("%.1f→%.1f", p.Verdict.BacklogEarly, p.Verdict.BacklogLate),
+				nic999, nicMax, dpc999)
+		}
+	}
+	return t
+}
+
+// FrontierKneeChart renders the knees as a horizontal log₂-axis ASCII bar
+// chart, one bar per track, so the NT-vs-98 headroom gap is visible at a
+// glance. Censored tracks end in '>', a knee below the sweep floor renders
+// an empty bar.
+func FrontierKneeChart(w io.Writer, title string, fs []frontier.Frontier) error {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for i := range fs {
+		for _, p := range fs[i].Probes {
+			lo, hi = math.Min(lo, p.PPS), math.Max(hi, p.PPS)
+		}
+		if n := len(trackLabel(&fs[i])); n > labelW {
+			labelW = n
+		}
+	}
+	if math.IsInf(lo, 1) || hi <= lo {
+		return nil
+	}
+	const width = 48
+	span := math.Log2(hi / lo)
+	scale := func(v float64) int {
+		if v <= lo {
+			return 0
+		}
+		n := int(math.Round(width * math.Log2(v/lo) / span))
+		if n > width {
+			n = width
+		}
+		return n
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-*s  axis: %d pps .. %d pps, log2 scale\n", labelW, "", int64(lo), int64(hi))
+	for i := range fs {
+		f := &fs[i]
+		n := scale(f.Knee)
+		bar := strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+		tip := "|"
+		if f.Censored {
+			tip = ">"
+		}
+		fmt.Fprintf(&b, "%-*s  |%s%s %s\n", labelW, trackLabel(f), bar, tip, f.KneeLabel())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FrontierCCDFSeries builds the latency-CCDF-vs-offered-load surface for
+// one track: one series per probe, labelled by offered rate, over the
+// packet-arrival-to-ISR-service latency histogram. Render with
+// report.WriteCSV for external plotting.
+func FrontierCCDFSeries(f *frontier.Frontier, loMs, hiMs float64) []report.Series {
+	var out []report.Series
+	for _, p := range f.Probes {
+		if p.Result.NicLat == nil || p.Result.NicLat.N() == 0 {
+			continue
+		}
+		out = append(out, report.NewSeries(fmt.Sprintf("r%d", int64(p.PPS)),
+			p.Result.NicLat, loMs, hiMs))
+	}
+	return out
+}
+
+// PacingTable summarizes frame pacing for a set of labelled results (one
+// row per cell): the missed-frame counters and the tail of the frame and
+// judder distributions. Results without pacing stats are skipped.
+func PacingTable(labels []string, results map[string]*core.Result, title string) *report.Table {
+	t := &report.Table{
+		Title: title,
+		Headers: []string{"Cell", "VBlanks", "Releases", "Presented", "Missed",
+			"Skipped", "Miss rate", "Max late ms", "Frame p50 ms", "Frame p99.9 ms", "Jitter p99 ms"},
+	}
+	for _, label := range labels {
+		r := results[label]
+		if r == nil || r.Pacing == nil {
+			continue
+		}
+		p := r.Pacing
+		frame50, frame999, jit99 := "n/a", "n/a", "n/a"
+		if p.FrameLat != nil && p.FrameLat.N() > 0 {
+			frame50 = fmt.Sprintf("%.3f", r.Freq.Millis(p.FrameLat.Quantile(0.5)))
+			frame999 = fmt.Sprintf("%.3f", r.Freq.Millis(p.FrameLat.Quantile(0.999)))
+		}
+		if p.Jitter != nil && p.Jitter.N() > 0 {
+			jit99 = fmt.Sprintf("%.3f", r.Freq.Millis(p.Jitter.Quantile(0.99)))
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%d", p.VBlanks), fmt.Sprintf("%d", p.Releases),
+			fmt.Sprintf("%d", p.Completions), fmt.Sprintf("%d", p.Misses),
+			fmt.Sprintf("%d", p.Skips), fmt.Sprintf("%.4f", p.MissRate()),
+			fmt.Sprintf("%.3f", r.Freq.Millis(p.MaxLateness)),
+			frame50, frame999, jit99)
+	}
+	return t
+}
+
+// PacingSeries builds the frame-latency and pacing-jitter distributions of
+// one result as plottable series (the per-persona missed-frame
+// distribution artifact).
+func PacingSeries(r *core.Result, loMs, hiMs float64) []report.Series {
+	if r.Pacing == nil {
+		return nil
+	}
+	var out []report.Series
+	if h := r.Pacing.FrameLat; h != nil && h.N() > 0 {
+		out = append(out, report.NewSeries("frame_latency", h, loMs, hiMs))
+	}
+	if h := r.Pacing.Jitter; h != nil && h.N() > 0 {
+		out = append(out, report.NewSeries("pacing_jitter", h, loMs, hiMs))
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package frontier
+
+import (
+	"fmt"
+
+	"wdmlat/internal/core"
+	"wdmlat/internal/workload"
+)
+
+// Criterion is the deterministic livelock/saturation test a probe's merged
+// result is judged by. A probe saturates when any of three signals fires:
+//
+//   - drops: the ring overflows more than MaxDropFrac of offered packets —
+//     the driver demonstrably cannot keep up;
+//   - cpu: the CPU-available fraction (cycles not spent in ISRs, DPCs,
+//     overhead episodes, context switches or measured threads) falls below
+//     MinCPUAvail — the receive-livelock regime of Horst et al., where the
+//     system still delivers packets but has no cycles left for any
+//     application;
+//   - backlog: the sampled ring occupancy trends upward across the run —
+//     late-window mean at least GrowthFloor packets AND at least
+//     GrowthFactor times the early-window mean — the queue is growing
+//     without bound even though drops have not started yet.
+//
+// Every input is pooled deterministically by the campaign layer, so the
+// verdict is a pure function of (config, seed) — the property the frontier
+// byte-identity tests pin.
+type Criterion struct {
+	// MaxDropFrac is the tolerated ring-overflow fraction (default 0.01).
+	MaxDropFrac float64
+	// MinCPUAvail is the minimum CPU-available fraction (default 0.10).
+	MinCPUAvail float64
+	// GrowthFactor is the late/early backlog ratio that counts as growth
+	// (default 4).
+	GrowthFactor float64
+	// GrowthFloor is the minimum late-window mean occupancy, in packets,
+	// for the growth signal to fire (default 96 — ¾ of the 128-slot ring);
+	// small absolute wobbles can never trip it.
+	GrowthFloor float64
+}
+
+// Normalized returns the criterion with documented defaults filled in.
+func (c Criterion) Normalized() Criterion {
+	if c.MaxDropFrac == 0 {
+		c.MaxDropFrac = 0.01
+	}
+	if c.MinCPUAvail == 0 {
+		c.MinCPUAvail = 0.10
+	}
+	if c.GrowthFactor == 0 {
+		c.GrowthFactor = 4
+	}
+	if c.GrowthFloor == 0 {
+		c.GrowthFloor = 96
+	}
+	return c
+}
+
+// Verdict is one probe's evaluation: the boolean that steers the sweep
+// plus the measured signals, kept for the frontier tables.
+type Verdict struct {
+	Saturated bool
+	// Reasons lists which signals fired, in the stable order
+	// "drops", "cpu", "backlog" (empty when sustainable).
+	Reasons []string
+	// DropFrac is dropped/offered; CPUAvail is the available fraction;
+	// BacklogEarly/BacklogLate are the early/late mean ring occupancies
+	// the growth signal compared.
+	DropFrac     float64
+	CPUAvail     float64
+	BacklogEarly float64
+	BacklogLate  float64
+}
+
+// String renders the verdict for tables and logs.
+func (v Verdict) String() string {
+	state := "sustainable"
+	if v.Saturated {
+		state = fmt.Sprintf("saturated%v", v.Reasons)
+	}
+	return fmt.Sprintf("%s drop=%.4f cpu=%.3f backlog=%.1f→%.1f",
+		state, v.DropFrac, v.CPUAvail, v.BacklogEarly, v.BacklogLate)
+}
+
+// Evaluate judges one merged storm result. It panics if the result carries
+// no storm stats (the probe was misconfigured, not borderline).
+func (c Criterion) Evaluate(res *core.Result) Verdict {
+	c = c.Normalized()
+	if res.Storm == nil {
+		panic("frontier: evaluating a result with no storm stats")
+	}
+	var v Verdict
+	if res.Storm.Offered > 0 {
+		v.DropFrac = float64(res.Storm.Dropped) / float64(res.Storm.Offered)
+	}
+	v.CPUAvail = 1
+	if res.Observed > 0 {
+		v.CPUAvail = 1 - float64(res.Counters.Busy())/float64(res.Observed)
+	}
+	v.BacklogEarly, v.BacklogLate = backlogWindows(res.Storm.Backlog)
+
+	if v.DropFrac > c.MaxDropFrac {
+		v.Reasons = append(v.Reasons, "drops")
+	}
+	if v.CPUAvail < c.MinCPUAvail {
+		v.Reasons = append(v.Reasons, "cpu")
+	}
+	if v.BacklogLate >= c.GrowthFloor && v.BacklogLate >= c.GrowthFactor*maxf(1, v.BacklogEarly) {
+		v.Reasons = append(v.Reasons, "backlog")
+	}
+	v.Saturated = len(v.Reasons) > 0
+	return v
+}
+
+// backlogWindows computes the early- and late-quarter mean ring occupancy
+// of a backlog trajectory. Merged replicas concatenate their trajectories,
+// so the series is first split into per-replica segments wherever the
+// sample time resets; each segment contributes its own quarters and the
+// segments' means are averaged (every replica has equal weight — growth in
+// one replica cannot be laundered against another's idle tail).
+func backlogWindows(samples []workload.BacklogSample) (early, late float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	var segs [][]workload.BacklogSample
+	start := 0
+	for i := 1; i < len(samples); i++ {
+		if samples[i].T <= samples[i-1].T {
+			segs = append(segs, samples[start:i])
+			start = i
+		}
+	}
+	segs = append(segs, samples[start:])
+
+	var nseg float64
+	for _, seg := range segs {
+		q := len(seg) / 4
+		if q < 1 {
+			q = 1
+		}
+		var e, l float64
+		for _, s := range seg[:q] {
+			e += float64(s.Pending)
+		}
+		for _, s := range seg[len(seg)-q:] {
+			l += float64(s.Pending)
+		}
+		early += e / float64(q)
+		late += l / float64(q)
+		nseg++
+	}
+	return early / nseg, late / nseg
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -3,10 +3,24 @@ package hw
 import "wdmlat/internal/sim"
 
 // NIC models the EtherExpress Pro 100 of the test system: received packets
-// accumulate in a ring and the card asserts its interrupt line, with simple
-// interrupt moderation (one assertion per pending window rather than per
-// packet — the line stays asserted until the driver drains the ring). The
-// web-browsing workload delivers download bursts through it (§3.1.3).
+// accumulate in a ring and the card asserts its interrupt line under a
+// configurable interrupt-moderation mode. The web-browsing workload
+// delivers download bursts through it (§3.1.3); the interrupt-storm
+// frontier drives it with a sustained packet stream and sweeps the
+// moderation axis.
+//
+// Moderation modes:
+//
+//   - ModeratePerWindow (default): one assertion per pending window — the
+//     line raises when the ring goes non-empty and stays logically raised
+//     until the driver drains it, re-asserting after a partial drain. This
+//     is the card behaviour every paper-era figure was produced under.
+//   - ModerateITR: a fixed interrupt-throttle gap — assertions (including
+//     partial-drain re-assertions) are spaced at least Gap apart, trading
+//     packet-service latency for fewer interrupts per second.
+//   - ModerateAdaptive: the ITR gap adapts to the observed arrival rate
+//     between a min and max bound — multiplicatively widened when windows
+//     arrive full (bursty), tightened when they arrive nearly empty.
 type NIC struct {
 	eng  *sim.Engine
 	line IRQLine
@@ -16,24 +30,113 @@ type NIC struct {
 	// LAN was 100 Mbit to over-stress the system).
 	InterPacketGap sim.Cycles
 
-	// ring holds pending packet sizes; head indexes the first undrained
-	// entry. Draining advances head instead of re-slicing the base away,
-	// which would discard capacity and make every burst reallocate.
+	// ring holds pending packet sizes and arr the matching arrival times;
+	// head indexes the first undrained entry. Draining advances head
+	// instead of re-slicing the base away, which would discard capacity
+	// and make every burst reallocate; receive compacts the live window
+	// back to the base once the backing slice fills, so a sustained storm
+	// (which never lets the ring empty) cannot grow the backing without
+	// bound.
 	ring      []int
+	arr       []sim.Time
+	waits     []sim.Cycles
 	head      int
 	delivered uint64
 	dropped   uint64
 	ringCap   int
 	raised    bool
+
+	// Interrupt moderation state.
+	mode         Moderation
+	gap          sim.Cycles // current inter-assert spacing (ITR/adaptive)
+	gapMin       sim.Cycles // adaptive bounds
+	gapMax       sim.Cycles
+	lastAssert   sim.Time
+	everAsserted bool
+	sinceAssert  int // packets received since the last assertion
+	asserts      uint64
+	throttle     *sim.Event
+	throttleFn   func(sim.Time)
 }
 
-// NewNIC creates a card with the given ring capacity.
+// Moderation selects the card's interrupt-moderation strategy.
+type Moderation int
+
+// The three moderation modes of the frontier sweep.
+const (
+	ModeratePerWindow Moderation = iota
+	ModerateITR
+	ModerateAdaptive
+)
+
+// String returns the mode's slug, used in campaign cell keys and artifact
+// labels — stable, lower-case, no spaces.
+func (m Moderation) String() string {
+	switch m {
+	case ModeratePerWindow:
+		return "per-assert"
+	case ModerateITR:
+		return "itr"
+	case ModerateAdaptive:
+		return "adaptive"
+	default:
+		return "moderation(?)"
+	}
+}
+
+// Adaptive window classification: a full-ish window widens the gap, a
+// nearly-empty one tightens it (the classic rate-adaptive ITR scheme).
+const (
+	adaptHighWater = 16
+	adaptLowWater  = 2
+)
+
+// NewNIC creates a card with the given ring capacity, in per-window mode.
 func NewNIC(eng *sim.Engine, line IRQLine, ringCap int, gap sim.Cycles) *NIC {
 	if ringCap <= 0 {
 		panic("hw: non-positive NIC ring capacity")
 	}
-	return &NIC{eng: eng, line: line, ringCap: ringCap, InterPacketGap: gap}
+	n := &NIC{eng: eng, line: line, ringCap: ringCap, InterPacketGap: gap}
+	n.throttleFn = func(sim.Time) {
+		n.throttle = nil
+		if len(n.ring)-n.head > 0 {
+			n.doAssert()
+		}
+	}
+	return n
 }
+
+// SetModeration configures the interrupt-moderation mode. For ModerateITR,
+// gap is the fixed inter-assert spacing; for ModerateAdaptive, [gapMin,
+// gapMax] bound the adaptive gap (which starts at gapMin). Configure before
+// traffic flows — the mode is part of the card's identity, not a runtime
+// control register.
+func (n *NIC) SetModeration(mode Moderation, gap, gapMin, gapMax sim.Cycles) {
+	if n.everAsserted || len(n.ring) > 0 {
+		panic("hw: NIC moderation changed after traffic")
+	}
+	switch mode {
+	case ModeratePerWindow:
+	case ModerateITR:
+		if gap <= 0 {
+			panic("hw: non-positive ITR gap")
+		}
+	case ModerateAdaptive:
+		if gapMin <= 0 || gapMax < gapMin {
+			panic("hw: invalid adaptive gap bounds")
+		}
+		gap = gapMin
+	default:
+		panic("hw: unknown NIC moderation mode")
+	}
+	n.mode, n.gap, n.gapMin, n.gapMax = mode, gap, gapMin, gapMax
+}
+
+// Moderation returns the configured mode.
+func (n *NIC) Moderation() Moderation { return n.mode }
+
+// Gap returns the current inter-assert spacing (0 in per-window mode).
+func (n *NIC) Gap() sim.Cycles { return n.gap }
 
 // DeliverBurst schedules n packets of the given size arriving back to back
 // starting now. Each arrival raises the interrupt line if it is not already
@@ -52,44 +155,138 @@ func (n *NIC) DeliverBurst(packets, bytes int) {
 	}
 }
 
+// Deliver receives one packet now. The interrupt-storm workload schedules
+// its own arrival process and feeds packets in one at a time.
+func (n *NIC) Deliver(bytes int) {
+	if bytes <= 0 {
+		panic("hw: invalid NIC packet")
+	}
+	n.receive(bytes)
+}
+
 func (n *NIC) receive(bytes int) {
 	if len(n.ring)-n.head >= n.ringCap {
 		n.dropped++
 		return
 	}
+	if len(n.ring) >= n.ringCap && n.head > 0 {
+		// The backing slice is full but the live window is not: compact it
+		// back to the base instead of letting append grow the backing. A
+		// sustained storm never fully drains the ring, so without this the
+		// backing grows by every accepted packet for the whole run. (Drain
+		// results are documented as valid only until the next receive, so
+		// moving the live window here is within contract.)
+		n.ring = n.ring[:copy(n.ring, n.ring[n.head:])]
+		n.arr = n.arr[:copy(n.arr, n.arr[n.head:])]
+		n.head = 0
+	}
 	n.ring = append(n.ring, bytes)
+	n.arr = append(n.arr, n.eng.Now())
+	n.sinceAssert++
 	if !n.raised {
-		n.raised = true
-		n.line.Assert()
+		n.tryAssert()
+	}
+}
+
+// tryAssert raises the line now or, in throttled modes, no earlier than one
+// gap after the previous assertion.
+func (n *NIC) tryAssert() {
+	if n.mode == ModeratePerWindow {
+		n.doAssert()
+		return
+	}
+	now := n.eng.Now()
+	next := n.lastAssert.Add(n.gap)
+	if !n.everAsserted || !next.After(now) {
+		n.doAssert()
+		return
+	}
+	if n.throttle == nil {
+		n.throttle = n.eng.After(next.Sub(now), "nic-itr", n.throttleFn)
+	}
+}
+
+func (n *NIC) doAssert() {
+	if n.mode == ModerateAdaptive && n.everAsserted {
+		n.adapt()
+	}
+	n.raised = true
+	n.asserts++
+	n.lastAssert = n.eng.Now()
+	n.everAsserted = true
+	n.sinceAssert = 0
+	n.line.Assert()
+}
+
+// adapt widens the gap when assertion windows arrive full (bursty traffic —
+// coalesce harder) and tightens it when they arrive nearly empty (sparse
+// traffic — favour latency).
+func (n *NIC) adapt() {
+	switch {
+	case n.sinceAssert >= adaptHighWater:
+		n.gap *= 2
+		if n.gap > n.gapMax {
+			n.gap = n.gapMax
+		}
+	case n.sinceAssert <= adaptLowWater:
+		n.gap /= 2
+		if n.gap < n.gapMin {
+			n.gap = n.gapMin
+		}
 	}
 }
 
 // Drain removes up to max packets from the ring (the driver ISR/DPC calls
 // this), returning their sizes. When the ring empties the line deasserts;
-// if packets remain the card re-asserts so the driver takes another pass.
-// The returned slice aliases the ring's recycled storage and is only valid
-// until the card next receives a packet.
+// if packets remain the card re-asserts (subject to moderation) so the
+// driver takes another pass. The returned slice aliases the ring's recycled
+// storage and is only valid until the card next receives a packet.
 func (n *NIC) Drain(max int) []int {
+	pkts, _ := n.drain(max, false)
+	return pkts
+}
+
+// DrainTimed is Drain, additionally reporting each drained packet's
+// queueing delay (arrival to drain — the latency cost of interrupt
+// moderation). The waits slice aliases recycled storage exactly like the
+// packet slice.
+func (n *NIC) DrainTimed(max int) ([]int, []sim.Cycles) {
+	return n.drain(max, true)
+}
+
+func (n *NIC) drain(max int, timed bool) ([]int, []sim.Cycles) {
 	avail := len(n.ring) - n.head
 	if max <= 0 || avail == 0 {
 		n.raised = avail > 0
-		return nil
+		return nil, nil
 	}
 	if max > avail {
 		max = avail
 	}
 	out := n.ring[n.head : n.head+max]
+	var waits []sim.Cycles
+	if timed {
+		if cap(n.waits) < max {
+			n.waits = make([]sim.Cycles, max)
+		}
+		waits = n.waits[:max]
+		now := n.eng.Now()
+		for i, at := range n.arr[n.head : n.head+max] {
+			waits[i] = now.Sub(at)
+		}
+	}
 	n.head += max
 	n.delivered += uint64(max)
 	if n.head < len(n.ring) {
 		// More work: model a level-triggered line by re-asserting.
-		n.line.Assert()
+		n.tryAssert()
 	} else {
 		n.ring = n.ring[:0]
+		n.arr = n.arr[:0]
 		n.head = 0
 		n.raised = false
 	}
-	return out
+	return out, waits
 }
 
 // Pending returns the number of packets in the ring.
@@ -101,3 +298,7 @@ func (n *NIC) Delivered() uint64 { return n.delivered }
 
 // Dropped returns the number of packets lost to ring overflow.
 func (n *NIC) Dropped() uint64 { return n.dropped }
+
+// Asserts returns the number of interrupt assertions — the coalescing
+// ratio is Delivered/Asserts.
+func (n *NIC) Asserts() uint64 { return n.asserts }

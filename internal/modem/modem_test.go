@@ -226,3 +226,52 @@ func TestDpcDatapumpDelaysOtherDpcs(t *testing.T) {
 		t.Fatalf("DPC pump barely affected other DPCs: %d vs %d", with, without)
 	}
 }
+
+func TestPeriodicTaskExternallyPaced(t *testing.T) {
+	m := newMachine(t, ospersona.NT4, 17)
+	pt := modem.NewPeriodicTask(m.Kernel, "p", m.MS(10), m.MS(2), modem.ThreadBased, 28)
+	pt.ExternallyPaced = true
+	var lats []sim.Cycles
+	pt.OnComplete = func(now sim.Time, lat sim.Cycles) { lats = append(lats, lat) }
+
+	// The external pacer: a kernel timer DPC standing in for the vblank.
+	pacer := kernel.NewDPC("pacer", kernel.MediumImportance, func(c *kernel.DpcContext) {
+		pt.Release(c)
+	})
+	tm := m.Kernel.NewTimer("pacer")
+	m.Kernel.SetPeriodicTimer(tm, m.MS(10), m.MS(10), pacer)
+	m.Eng.At(1000, "start", func(sim.Time) { pt.Start() })
+	m.RunFor(m.Freq().Cycles(2 * time.Second))
+
+	if pt.Releases() < 150 {
+		t.Fatalf("externally paced releases = %d, want ~200", pt.Releases())
+	}
+	if pt.Misses() != 0 {
+		t.Fatalf("%d misses on idle system", pt.Misses())
+	}
+	if uint64(len(lats)) != pt.Completions() {
+		t.Fatalf("OnComplete saw %d activations, completions %d", len(lats), pt.Completions())
+	}
+	for _, l := range lats {
+		if l < m.MS(2) || l > m.MS(10) {
+			t.Fatalf("release-to-complete latency %d outside [compute, deadline]", l)
+		}
+	}
+}
+
+func TestPeriodicTaskReleaseRequiresExternalPacing(t *testing.T) {
+	m := newMachine(t, ospersona.NT4, 1)
+	pt := modem.NewPeriodicTask(m.Kernel, "p", m.MS(10), m.MS(1), modem.DPCBased, 0)
+	probe := kernel.NewDPC("probe", kernel.MediumImportance, func(c *kernel.DpcContext) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Release on a timer-paced task should panic")
+			}
+		}()
+		pt.Release(c)
+	})
+	tm := m.Kernel.NewTimer("probe")
+	m.Kernel.SetPeriodicTimer(tm, 1000, m.MS(100), probe)
+	pt.Start()
+	m.RunFor(m.MS(5))
+}

@@ -19,6 +19,17 @@ type PeriodicTask struct {
 	Modality Modality
 	Priority int // thread modality only
 
+	// ExternallyPaced marks the task as released by an outside interrupt
+	// source (the display vblank DPC, say) instead of its own kernel
+	// timer: Start arms nothing and each Release call is one period
+	// boundary. Set before Start.
+	ExternallyPaced bool
+	// OnComplete, if set, observes every completed activation with its
+	// completion time and its latency from release — the hook the
+	// frame-pacing application hangs its jitter distributions on. It runs
+	// in the completing context (DPC or thread), so it must be cheap.
+	OnComplete func(now sim.Time, latency sim.Cycles)
+
 	timer  *kernel.Timer
 	dpc    *kernel.DPC
 	ev     *kernel.Event
@@ -30,6 +41,7 @@ type PeriodicTask struct {
 	skips       uint64 // releases dropped because the previous was still running
 	pending     bool
 	pendingDue  sim.Time
+	pendingRel  sim.Time // release time of the in-flight activation
 	running     bool
 	maxLateness sim.Cycles
 }
@@ -70,13 +82,26 @@ func NewPeriodicTask(k *kernel.Kernel, name string, period, compute sim.Cycles, 
 	return t
 }
 
-// Start begins periodic releases.
+// Start begins periodic releases. An externally-paced task arms no timer —
+// its releases arrive through Release.
 func (t *PeriodicTask) Start() {
 	if t.running {
 		panic("modem: periodic task already started")
 	}
 	t.running = true
+	if t.ExternallyPaced {
+		return
+	}
 	t.k.SetPeriodicTimer(t.timer, t.Period, t.Period, t.dpc)
+}
+
+// Release delivers one externally-paced period boundary, in DPC context
+// (the pacing interrupt's DPC calls this — the display vblank pattern).
+func (t *PeriodicTask) Release(c *kernel.DpcContext) {
+	if !t.ExternallyPaced {
+		panic("modem: Release on a timer-paced task")
+	}
+	t.onRelease(c)
 }
 
 // Stop halts releases.
@@ -90,13 +115,15 @@ func (t *PeriodicTask) onRelease(c *kernel.DpcContext) {
 		return
 	}
 	t.releases++
-	due := c.Now().Add(t.Deadline)
+	rel := c.Now()
+	due := rel.Add(t.Deadline)
 	switch t.Modality {
 	case DPCBased:
 		if t.Compute > 0 {
 			c.Charge(t.Compute)
 		}
 		t.pendingDue = due
+		t.pendingRel = rel
 		t.pending = true
 		t.complete(c.Now())
 	case ThreadBased:
@@ -109,6 +136,7 @@ func (t *PeriodicTask) onRelease(c *kernel.DpcContext) {
 		}
 		t.pending = true
 		t.pendingDue = due
+		t.pendingRel = rel
 		c.SetEvent(t.ev)
 	}
 }
@@ -124,6 +152,9 @@ func (t *PeriodicTask) complete(now sim.Time) {
 		if late := now.Sub(t.pendingDue); late > t.maxLateness {
 			t.maxLateness = late
 		}
+	}
+	if t.OnComplete != nil {
+		t.OnComplete(now, now.Sub(t.pendingRel))
 	}
 }
 

@@ -7,14 +7,16 @@ import (
 	"wdmlat/internal/hw"
 	"wdmlat/internal/kernel"
 	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
 )
 
 // Interrupt vectors of the simulated board.
 const (
-	VectorClock = 32
-	VectorDisk  = 34
-	VectorNIC   = 35
-	VectorSound = 36
+	VectorClock   = 32
+	VectorDisk    = 34
+	VectorNIC     = 35
+	VectorSound   = 36
+	VectorDisplay = 38 // 37 is the soft modem's, claimed in internal/modem
 )
 
 // Options configures machine assembly.
@@ -41,6 +43,15 @@ type Options struct {
 	// to use DMA drivers for the IDE devices"): disk transfers then burn
 	// CPU in the driver DPC at DISPATCH_LEVEL instead of overlapping.
 	PIODisk bool
+	// NICModeration selects the card's interrupt-moderation mode for the
+	// storm frontier. The zero value (per-window) is the behaviour every
+	// paper-era figure was produced under.
+	NICModeration hw.Moderation
+	// NICGap is the moderation spacing in cycles: the fixed inter-assert
+	// gap for ITR, or the adaptive upper bound (the lower bound is
+	// NICGap/16, floored at one ISR's worth). Zero defaults to 250 µs, the
+	// e100-class default throttle.
+	NICGap sim.Cycles
 }
 
 func (o *Options) fillDefaults() {
@@ -61,28 +72,40 @@ type Machine struct {
 	Profile *Profile
 	Opts    Options
 
-	Eng    *sim.Engine
-	CPU    *cpu.CPU
-	Kernel *kernel.Kernel
-	PIT    *hw.PIT
-	Disk   *hw.Disk
-	NIC    *hw.NIC
-	Sound  *hw.Sound
+	Eng     *sim.Engine
+	CPU     *cpu.CPU
+	Kernel  *kernel.Kernel
+	PIT     *hw.PIT
+	Disk    *hw.Disk
+	NIC     *hw.NIC
+	Sound   *hw.Sound
+	Display *hw.Display // built lazily by StartFramePacing
 
 	rng *sim.RNG
 
-	diskDpc  *kernel.DPC
-	nicDpc   *kernel.DPC
-	soundDpc *kernel.DPC
+	diskDpc    *kernel.DPC
+	nicDpc     *kernel.DPC
+	soundDpc   *kernel.DPC
+	displayDpc *kernel.DPC
 
 	// pending per-DPC extra work, fed by activity events and drained by
 	// the device DPC bodies.
-	diskDpcExtra  sim.Cycles
-	nicDpcExtra   sim.Cycles
-	soundDpcExtra sim.Cycles
+	diskDpcExtra    sim.Cycles
+	nicDpcExtra     sim.Cycles
+	soundDpcExtra   sim.Cycles
+	displayDpcExtra sim.Cycles
 
 	// completion callbacks for in-flight disk requests, run in DPC context.
 	audio *audioPipeline
+
+	// frame-pacing application (lazy, StartFramePacing).
+	pacing *pacingApp
+
+	// nicLat, when non-nil, switches the NIC DPC into storm accounting:
+	// per-packet arrival-to-indication latency plus the per-OS NicIndicate
+	// cost. Nil (the default) keeps the original drain path, so every
+	// pre-storm artifact stays byte-identical.
+	nicLat *stats.Histogram
 
 	// Activity counters.
 	fileOps, uiEvents, netBursts, frames, pageFaults uint64
@@ -174,8 +197,34 @@ func (m *Machine) buildNIC() {
 		c.QueueDpc(m.nicDpc)
 	})
 	m.NIC = hw.NewNIC(m.Eng, intr, 128, us(12)) // ~100 Mbit inter-frame gap
+	if m.Opts.NICModeration != hw.ModeratePerWindow {
+		gap := m.Opts.NICGap
+		if gap == 0 {
+			gap = us(250) // e100-class default throttle
+		}
+		switch m.Opts.NICModeration {
+		case hw.ModerateITR:
+			m.NIC.SetModeration(hw.ModerateITR, gap, 0, 0)
+		case hw.ModerateAdaptive:
+			lo := gap / 16
+			if lo < us(5) {
+				lo = us(5) // no tighter than one ISR's worth
+			}
+			m.NIC.SetModeration(hw.ModerateAdaptive, 0, lo, gap)
+		}
+	}
 	m.nicDpc = kernel.NewDPC("E100B", kernel.MediumImportance, func(c *kernel.DpcContext) {
 		c.Charge(m.takeExtra(&m.nicDpcExtra))
+		if m.nicLat != nil {
+			// Storm accounting: record each packet's queueing delay and
+			// charge the per-OS indication cost.
+			pkts, waits := m.NIC.DrainTimed(32)
+			for _, w := range waits {
+				m.nicLat.Add(w)
+			}
+			c.Charge(sim.Cycles(len(pkts)) * m.Profile.NicIndicate)
+			return
+		}
 		pkts := m.NIC.Drain(32)
 		c.Charge(sim.Cycles(len(pkts)) * us(6)) // per-packet indication cost
 	})

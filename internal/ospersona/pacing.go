@@ -1,0 +1,184 @@
+package ospersona
+
+import (
+	"wdmlat/internal/hw"
+	"wdmlat/internal/kernel"
+	"wdmlat/internal/modem"
+	"wdmlat/internal/sim"
+	"wdmlat/internal/stats"
+)
+
+// The frame-pacing application: a third QoS consumer alongside the soft
+// modem and audio pipeline. The display's vblank interrupt releases a
+// presentation activation each refresh (the D3DKMTWaitForVerticalBlankEvent
+// pattern); the activation must render its frame before the next vblank or
+// the frame is missed. Its missed-frame and present-jitter distributions
+// are a user-visible readout of the same OS latency the paper measures at
+// the driver level — on Windows 98 a scheduler-locked window stalls the
+// presentation thread even though the vblank ISR and DPC keep running.
+
+// PacingConfig configures StartFramePacing. Zero values take the defaults
+// noted per field.
+type PacingConfig struct {
+	// PeriodMS is the refresh period; default 16.7 ms (60 Hz, Table 2).
+	PeriodMS float64
+	// ComputeFrac is per-frame render compute as a fraction of the period;
+	// default 0.4 (a comfortably feasible frame on an idle machine).
+	ComputeFrac float64
+	// Priority of the presentation thread; default real-time default (24),
+	// the priority ordinary multimedia apps actually get.
+	Priority int
+}
+
+func (c *PacingConfig) fillDefaults() {
+	if c.PeriodMS <= 0 {
+		c.PeriodMS = 16.7
+	}
+	if c.ComputeFrac <= 0 {
+		c.ComputeFrac = 0.4
+	}
+	if c.Priority == 0 {
+		c.Priority = kernel.RealtimeDefault
+	}
+}
+
+// PacingStats is the frame pacer's outcome: counters plus the two
+// distributions the frontier reports per persona.
+type PacingStats struct {
+	VBlanks     uint64 // hardware vblanks while pacing ran
+	Releases    uint64 // activations released to the presentation thread
+	Completions uint64 // frames presented
+	Misses      uint64 // frames past their deadline (includes skips)
+	Skips       uint64 // releases dropped: previous frame still in flight
+	MaxLateness sim.Cycles
+
+	// FrameLat is release-to-present latency; Jitter is |present interval −
+	// refresh period|, the pacing error a viewer perceives as judder.
+	FrameLat *stats.Histogram
+	Jitter   *stats.Histogram
+}
+
+// MissRate returns misses per release (0 if nothing was released).
+func (s *PacingStats) MissRate() float64 {
+	if s.Releases == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Releases)
+}
+
+type pacingApp struct {
+	m    *Machine
+	task *modem.PeriodicTask
+
+	frameLat *stats.Histogram
+	jitter   *stats.Histogram
+	period   sim.Cycles
+
+	lastPresent sim.Time
+	presented   bool
+	running     bool
+}
+
+// StartFramePacing attaches the display and presentation thread and begins
+// pacing. Like StartAudio, the display hardware is built lazily on first
+// use so machines that never pace frames are untouched.
+func (m *Machine) StartFramePacing(cfg PacingConfig) {
+	if m.pacing != nil && m.pacing.running {
+		panic("ospersona: frame pacing already running")
+	}
+	cfg.fillDefaults()
+	period := m.MS(cfg.PeriodMS)
+	compute := sim.Cycles(float64(period) * cfg.ComputeFrac)
+
+	if m.Display == nil {
+		m.buildDisplay()
+	}
+	p := &pacingApp{
+		m:        m,
+		frameLat: stats.NewHistogram(m.Freq()),
+		jitter:   stats.NewHistogram(m.Freq()),
+		period:   period,
+		running:  true,
+	}
+	t := modem.NewPeriodicTask(m.Kernel, "present", period, compute,
+		modem.ThreadBased, cfg.Priority)
+	t.ExternallyPaced = true
+	t.OnComplete = p.onPresent
+	p.task = t
+	m.pacing = p
+	t.Start()
+	m.Display.Start(period)
+}
+
+// StopFramePacing halts the raster and the presentation task. Stats remain
+// readable afterwards.
+func (m *Machine) StopFramePacing() {
+	if m.pacing == nil || !m.pacing.running {
+		return
+	}
+	m.pacing.running = false
+	m.pacing.task.Stop()
+	m.Display.Stop()
+}
+
+// FramePacingStats reports the pacer's outcome; ok is false if pacing was
+// never started on this machine.
+func (m *Machine) FramePacingStats() (s PacingStats, ok bool) {
+	p := m.pacing
+	if p == nil {
+		return PacingStats{}, false
+	}
+	return PacingStats{
+		VBlanks:     m.Display.VBlanks(),
+		Releases:    p.task.Releases(),
+		Completions: p.task.Completions(),
+		Misses:      p.task.Misses(),
+		Skips:       p.task.Skips(),
+		MaxLateness: p.task.MaxLateness(),
+		FrameLat:    p.frameLat,
+		Jitter:      p.jitter,
+	}, true
+}
+
+// buildDisplay wires the vblank interrupt path: ISR at device IRQL 19
+// queues the display DPC, which charges pending per-frame work, applies the
+// per-frame OS response and releases the presentation activation.
+func (m *Machine) buildDisplay() {
+	k := m.Kernel
+	intr := k.Connect(VectorDisplay, 19, "DISPLAY", "_VsyncISR", func(c *kernel.IsrContext) {
+		c.Charge(us(2))
+		c.QueueDpc(m.displayDpc)
+	})
+	m.displayDpc = kernel.NewDPC("DISPLAY", kernel.MediumImportance, func(c *kernel.DpcContext) {
+		c.Charge(m.takeExtra(&m.displayDpcExtra))
+		if m.pacing != nil && m.pacing.running {
+			m.pacing.onVBlank(c)
+		}
+	})
+	m.Display = hw.NewDisplay(m.Eng, intr)
+}
+
+// onVBlank runs in the display DPC at each vblank: the presented frame's
+// display/sound VxD activity hits the OS, then the next activation is
+// released.
+func (p *pacingApp) onVBlank(c *kernel.DpcContext) {
+	p.m.frames++
+	p.m.apply(p.m.Profile.Frame, p.m.Profile.LockFrames, p.m.Profile.MaskFrames,
+		&p.m.displayDpcExtra)
+	p.task.Release(c)
+}
+
+// onPresent observes each completed frame (runs in the presenting thread).
+func (p *pacingApp) onPresent(now sim.Time, lat sim.Cycles) {
+	p.frameLat.Add(lat)
+	if p.presented {
+		iv := now.Sub(p.lastPresent)
+		dev := iv - p.period
+		if dev < 0 {
+			dev = -dev
+		}
+		p.jitter.Add(dev)
+	}
+	p.presented = true
+	p.lastPresent = now
+}

@@ -111,6 +111,14 @@ type Profile struct {
 	// Disk geometry.
 	DiskSeek          sim.Dist
 	DiskBytesPerCycle float64
+
+	// NicIndicate is the per-packet protocol-indication cost charged in the
+	// NIC DPC when storm accounting is enabled (EnableStormAccounting). The
+	// NDIS 3-style Win98 miniport indicates each packet up through a VxD
+	// thunk, roughly doubling the NT figure; NT's NDIS 4 path is leaner and
+	// Windows 2000's NDIS 5 slightly leaner again. Non-storm runs keep the
+	// PR-1-era flat cost so every existing figure stays byte-identical.
+	NicIndicate sim.Cycles
 }
 
 // ms converts milliseconds to cycles at the paper's 300 MHz.
@@ -214,6 +222,8 @@ func NT4Profile() *Profile {
 
 		DiskSeek:          sim.LogNormal{Mu: 14.4, Sigma: 0.5, Cap: ms(25)}, // ~6 ms median
 		DiskBytesPerCycle: 0.055,                                            // ~16.5 MB/s UDMA
+
+		NicIndicate: us(6), // NDIS 4 per-packet indication
 	}
 	return p
 }
@@ -352,6 +362,8 @@ func Win98Profile() *Profile {
 
 		DiskSeek:          sim.LogNormal{Mu: 14.4, Sigma: 0.5, Cap: ms(25)},
 		DiskBytesPerCycle: 0.055,
+
+		NicIndicate: us(12), // NDIS 3 indication through the VxD thunk
 	}
 	return p
 }
@@ -384,6 +396,7 @@ func Win2000BetaProfile() *Profile {
 	// Heavier passive-work plumbing (the worker interference grows).
 	p.FileOp.WorkItemProb = 0.35
 	p.NetBurst.WorkItemProb = 0.45
+	p.NicIndicate = us(5) // NDIS 5 trims the indication path slightly
 	p.LockFrames = frameSet{
 		{Module: "NTOSKRNL", Function: "_KiDispatcherLock"},
 		{Module: "NTFS", Function: "_NtfsCommonRead"},

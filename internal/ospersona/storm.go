@@ -1,0 +1,35 @@
+package ospersona
+
+import "wdmlat/internal/stats"
+
+// Storm hooks: the interrupt-storm workload (internal/workload.Storm) feeds
+// single packets through the NIC at a swept offered rate and periodically
+// charges the OS's network response. All of it is opt-in — a machine that
+// never calls EnableStormAccounting runs the exact PR-1 NIC path.
+
+// EnableStormAccounting switches the NIC driver into storm accounting:
+// every drained packet's arrival-to-indication latency is recorded in the
+// returned histogram and the per-OS NicIndicate cost is charged per packet
+// (instead of the flat pre-storm constant). Call before traffic flows; the
+// histogram stays owned by the caller.
+func (m *Machine) EnableStormAccounting() *stats.Histogram {
+	if m.nicLat == nil {
+		m.nicLat = stats.NewHistogram(m.Freq())
+	}
+	return m.nicLat
+}
+
+// StormPacket delivers one storm packet through the NIC ring now.
+func (m *Machine) StormPacket(bytes int) {
+	m.NIC.Deliver(bytes)
+}
+
+// StormBatchResponse applies the OS's network-burst response (masked
+// windows, scheduler locks, DPC work, work items) once per indication
+// batch. The storm generator calls it at a fixed offered-packet stride so
+// the OS-side interference scales with offered load without charging a
+// full NetBurst per packet.
+func (m *Machine) StormBatchResponse() {
+	m.netBursts++
+	m.apply(m.Profile.NetBurst, m.Profile.LockFrames, m.Profile.MaskFrames, &m.nicDpcExtra)
+}
